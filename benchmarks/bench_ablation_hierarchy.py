@@ -1,0 +1,30 @@
+"""Ablation A1 — hierarchical queues vs one flat global list (paper §III).
+
+"A naive solution consists in maintaining a global list of tasks ...
+this big-lock technique is likely not to scale up."  The affinity-burst
+workload (one task per core, submitted back-to-back) runs through the
+hierarchy and through a single global queue; the flat organisation must
+cost more per burst and contend more on its lock.
+"""
+
+from repro.bench.ablations import run_affinity_burst
+from repro.topology import kwak
+
+
+def test_ablation_hierarchy(once, bench_scale):
+    bursts = max(30, bench_scale["microbench_reps"] // 4)
+
+    def both():
+        hier = run_affinity_burst(kwak(), hierarchical=True, bursts=bursts)
+        flat = run_affinity_burst(kwak(), hierarchical=False, bursts=bursts)
+        return hier, flat
+
+    hier, flat = once(both)
+    print(
+        f"\naffinity burst on kwak (15 tasks): hierarchical "
+        f"{hier.mean_burst_ns / 1000:.1f} us vs flat {flat.mean_burst_ns / 1000:.1f} us "
+        f"({flat.mean_burst_ns / hier.mean_burst_ns:.2f}x); "
+        f"contended lock acquisitions {hier.lock_contended} vs {flat.lock_contended}"
+    )
+    assert flat.mean_burst_ns > 1.5 * hier.mean_burst_ns
+    assert flat.lock_contended > hier.lock_contended

@@ -1,0 +1,68 @@
+"""Ablation A4 — lock-free (CAS) queues: the paper's future work (§VI).
+
+"We plan to study the opportunity to use lock-free algorithms to reduce
+contention on task queues and to decrease the overhead of the task
+mechanism."  The CAS-queue variant removes the lock word entirely; each
+operation is one RMW on the head line with a retry penalty under bursts.
+Expected: cheaper than the spinlock queue on the contended global queue,
+comparable on uncontended per-core queues.
+"""
+
+from repro.bench.task_microbench import measure_queue
+from repro.core.variants import LockFreeTaskQueue
+from repro.topology import CpuSet, kwak
+
+
+def test_ablation_lockfree_global(once, bench_scale):
+    reps = bench_scale["microbench_reps"]
+    machine = kwak()
+
+    def both():
+        locked = measure_queue(
+            machine, machine.all_cores(), label="global", reps=reps, seed=13
+        )
+        lockfree = measure_queue(
+            machine,
+            machine.all_cores(),
+            label="global-lockfree",
+            reps=reps,
+            seed=13,
+            queue_factory=LockFreeTaskQueue,
+        )
+        return locked, lockfree
+
+    locked, lockfree = once(both)
+    print(
+        f"\nglobal-queue round-trip on kwak: spinlock "
+        f"{locked.mean_ns / 1000:.2f} us vs lock-free "
+        f"{lockfree.mean_ns / 1000:.2f} us "
+        f"({locked.mean_ns / lockfree.mean_ns:.2f}x improvement)"
+    )
+    assert lockfree.mean_ns < locked.mean_ns
+
+
+def test_ablation_lockfree_local(once, bench_scale):
+    """On an uncontended per-core queue the two designs are comparable."""
+    reps = bench_scale["microbench_reps"]
+    machine = kwak()
+
+    def both():
+        locked = measure_queue(
+            machine, CpuSet.single(0), label="core#0", reps=reps, seed=13
+        )
+        lockfree = measure_queue(
+            machine,
+            CpuSet.single(0),
+            label="core#0-lockfree",
+            reps=reps,
+            seed=13,
+            queue_factory=LockFreeTaskQueue,
+        )
+        return locked, lockfree
+
+    locked, lockfree = once(both)
+    print(
+        f"\nper-core round-trip on kwak: spinlock {locked.mean_ns:.0f} ns "
+        f"vs lock-free {lockfree.mean_ns:.0f} ns"
+    )
+    assert abs(locked.mean_ns - lockfree.mean_ns) < 0.3 * locked.mean_ns

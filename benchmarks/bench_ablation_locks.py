@@ -1,0 +1,39 @@
+"""Ablation A2 — spinlocks vs blocking mutexes on the task queues.
+
+Paper §IV-A: a thread "enters the corresponding critical section for a
+very short period, less than the time required to perform a context
+switch.  Using a classical mutex ... would imply a risk of costly context
+switches."  Swapping the queue lock for a mutex must cost more per
+operation whenever there is any contention.
+"""
+
+from repro.bench.ablations import run_affinity_burst
+from repro.core.variants import MutexTaskQueue
+from repro.topology import kwak
+
+
+def test_ablation_spinlock_vs_mutex(once, bench_scale):
+    bursts = max(30, bench_scale["microbench_reps"] // 4)
+
+    def both():
+        spin = run_affinity_burst(
+            kwak(), hierarchical=False, bursts=bursts, label="spinlock"
+        )
+        mutex = run_affinity_burst(
+            kwak(),
+            hierarchical=False,
+            queue_factory=MutexTaskQueue,
+            bursts=bursts,
+            label="mutex",
+        )
+        return spin, mutex
+
+    spin, mutex = once(both)
+    print(
+        f"\nflat-queue affinity burst on kwak: spinlock "
+        f"{spin.mean_burst_ns / 1000:.1f} us vs mutex "
+        f"{mutex.mean_burst_ns / 1000:.1f} us "
+        f"({mutex.mean_burst_ns / spin.mean_burst_ns:.2f}x)"
+    )
+    # Blocking on queue-length critical sections costs context switches.
+    assert mutex.mean_burst_ns > 1.2 * spin.mean_burst_ns

@@ -1,0 +1,29 @@
+"""Extension — OSU-style streaming bandwidth (companion to Fig. 4's
+latency test; the paper cites the OSU suite [14]).
+
+Sanity anchors for the whole nmad/NIC stack: bandwidth grows with message
+size, and at 1 MB every implementation approaches the ConnectX wire rate
+(~1.5 GB/s in this model).
+"""
+
+from repro.bench.bandwidth import format_bandwidth, run_bandwidth
+from repro.net.driver import IB_CONNECTX
+
+
+def test_bandwidth_curves(once, bench_scale):
+    series = once(run_bandwidth, iters=3)
+    print()
+    print(format_bandwidth(series))
+
+    wire_mb_s = IB_CONNECTX.bytes_per_us  # B/us == MB/s
+    for s in series:
+        rates = [p.mb_per_s for p in s.points]
+        # monotone growth with size (small tolerance)
+        for a, b in zip(rates, rates[1:]):
+            assert b > 0.8 * a, f"{s.impl}: bandwidth dropped {a}->{b}"
+        # large messages approach the wire rate
+        assert rates[-1] > 0.75 * wire_mb_s, f"{s.impl} too far from wire rate"
+        assert rates[-1] < 1.05 * wire_mb_s, f"{s.impl} exceeds the wire"
+        # small messages are overhead-bound, clearly under the wire rate
+        assert rates[0] < 0.8 * wire_mb_s
+        assert rates[0] < rates[-1]

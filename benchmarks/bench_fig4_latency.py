@@ -1,0 +1,37 @@
+"""Fig. 4 — multi-threaded latency test (OSU-style) on the BORDERLINE
+cluster over InfiniBand.
+
+Asserted shape: the MVAPICH-like baseline's latency grows with the number
+of receiving threads (global-lock polling + scheduling queueing past the
+core count) while PIOMan stays nearly constant, "even when this number
+exceeds the number of CPUs".
+"""
+
+from repro.bench.latency import run_fig4
+from repro.bench.reporting import format_latency
+
+
+def test_fig4_latency(once, bench_scale):
+    series = once(
+        run_fig4,
+        thread_counts=bench_scale["fig4_threads"],
+        iters_per_thread=bench_scale["fig4_iters"],
+        seed=0,
+    )
+    print()
+    print(format_latency(series))
+
+    by_name = {s.impl: s for s in series}
+    pioman = by_name["PIOMan"]
+    mvapich = by_name["MVAPICH"]
+    assert "OpenMPI" not in by_name, "OpenMPI must be skipped (mt-unstable, as in the paper)"
+
+    counts = [p.threads for p in pioman.points]
+    lo, hi = counts[0], counts[-1]
+    # PIOMan: flat — within 40% across the whole sweep, incl. past 8 cores
+    base = pioman.latency_at(lo)
+    for n in counts:
+        assert pioman.latency_at(n) < 1.4 * base, f"PIOMan not flat at {n} threads"
+    # MVAPICH: grows, and ends up well above PIOMan
+    assert mvapich.latency_at(hi) > 3 * mvapich.latency_at(lo)
+    assert mvapich.latency_at(hi) > 2 * pioman.latency_at(hi)

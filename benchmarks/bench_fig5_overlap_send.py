@@ -1,0 +1,30 @@
+"""Fig. 5 — overlap with computation on the sender side (32 KB, 1 MB).
+
+Asserted shape: *every* implementation overlaps on the sender side — the
+baselines via their RDMA-read rendezvous (the receiver pulls the body
+without sender CPU), PIOMan via tasks on idle cores.
+"""
+
+from repro.bench.overlap import compute_grid, run_overlap_figure
+from repro.bench.reporting import format_overlap
+
+
+def test_fig5_overlap_sender(once, bench_scale):
+    series = once(
+        run_overlap_figure,
+        "sender",
+        npoints=bench_scale["overlap_points"],
+        reps=bench_scale["overlap_reps"],
+        seed=0,
+    )
+    print()
+    print(format_overlap(series))
+
+    for s in series:
+        grid = compute_grid(s.size_bytes, bench_scale["overlap_points"])
+        # past the wire time, every implementation reaches a high ratio
+        tail = grid[-1]
+        assert s.ratio_at(tail) > 0.85, f"{s.impl} fails sender-side overlap"
+        # ratio is monotonically non-decreasing along the curve
+        ratios = [p.ratio for p in s.points]
+        assert all(b >= a - 0.05 for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,38 @@
+"""Fig. 7 — overlap with computation on both sides (32 KB, 1 MB).
+
+Asserted shape: with both ranks computing, the baselines inherit the
+receiver-side stall (their rendezvous waits for the receiver's MPI_Wait),
+while PIOMan overlaps on both sides.
+"""
+
+from repro.bench.overlap import compute_grid, run_overlap_figure
+from repro.bench.reporting import format_overlap
+
+
+def test_fig7_overlap_both(once, bench_scale):
+    series = once(
+        run_overlap_figure,
+        "both",
+        npoints=bench_scale["overlap_points"],
+        reps=bench_scale["overlap_reps"],
+        seed=0,
+    )
+    print()
+    print(format_overlap(series))
+
+    for size in sorted({s.size_bytes for s in series}):
+        group = {s.impl: s for s in series if s.size_bytes == size}
+        grid = compute_grid(size, bench_scale["overlap_points"])
+        tail = grid[-1]
+        pioman_tail = group["PIOMan"].ratio_at(tail)
+        assert pioman_tail > 0.8
+        for base in ("MVAPICH", "OpenMPI"):
+            assert pioman_tail >= group[base].ratio_at(tail) - 0.02, (
+                f"{base} should not beat PIOMan with computation on both sides"
+            )
+        # and somewhere along the curve PIOMan opens a clear gap
+        gaps = [
+            group["PIOMan"].ratio_at(x) - group["MVAPICH"].ratio_at(x)
+            for x in grid[1:]
+        ]
+        assert max(gaps) > 0.1

@@ -1,0 +1,35 @@
+"""Extension — global-queue cost vs core count (the paper's §I trend).
+
+Scales kwak-calibrated NUMA machines from 8 to 64 cores and asserts what
+the paper predicts: the hierarchical per-core/per-chip costs stay put
+while the global queue's blow-up keeps growing with the core count.
+"""
+
+from repro.bench.scalability import run_scalability
+
+
+def test_scalability_study(once, bench_scale):
+    reps = max(60, bench_scale["microbench_reps"] // 2)
+    study = once(run_scalability, reps=reps)
+    print()
+    print(study.format())
+
+    pts = study.points
+    assert [p.ncores for p in pts] == [8, 16, 32, 64]
+    # local queues are essentially flat across machine sizes
+    locals_ = [p.local_ns for p in pts]
+    assert max(locals_) < 1.3 * min(locals_)
+    # per-chip cost tracks the chip *width* (racers per L3), not the
+    # machine size: the two 4-wide machines match, the two 8-wide match,
+    # and every chip queue stays far below the global queue
+    chips = [p.chip_ns for p in pts]
+    assert abs(chips[0] - chips[1]) < 0.3 * chips[0]   # both 4-wide
+    assert abs(chips[2] - chips[3]) < 0.3 * chips[2]   # both 8-wide
+    for p in pts:
+        assert p.chip_ns < 0.5 * p.global_ns
+    # the global queue keeps deteriorating with the core count
+    assert pts[-1].global_ns > 2.5 * pts[0].global_ns
+    assert pts[-1].global_blowup > pts[0].global_blowup
+    # monotone growth along the sweep (some tolerance for seed noise)
+    for a, b in zip(pts, pts[1:]):
+        assert b.global_ns > 0.9 * a.global_ns

@@ -1,0 +1,40 @@
+"""Table I — task-scheduling microbenchmark on borderline (4x2 cores).
+
+Regenerates every row of the paper's Table I and asserts the shape the
+paper reports: flat per-core rows with a local/remote split, per-chip
+rows above per-core, and a global queue an order of magnitude above the
+local reference.
+"""
+
+from repro.bench.paper_targets import targets_for
+from repro.bench.reporting import format_microbench
+from repro.bench.task_microbench import run_task_microbench
+from repro.topology import borderline
+
+
+def test_table1_borderline(once, bench_scale):
+    res = once(
+        run_task_microbench,
+        borderline(),
+        reps=bench_scale["microbench_reps"],
+        seed=1,
+    )
+    print()
+    print(format_microbench(res, paper=targets_for("borderline")))
+
+    ref = res.reference_ns()
+    # level 1: per-core rows are tight and ordered local <= sibling <= remote
+    sibling = res.row_by_label("core#1").mean_ns
+    remotes = [res.row_by_label(f"core#{c}").mean_ns for c in range(2, 8)]
+    assert ref <= sibling <= min(remotes)
+    assert max(remotes) - min(remotes) < 0.15 * ref, "remote rows should be flat"
+    # remote overhead is sub-microsecond on this machine (paper: ~100 ns)
+    assert max(remotes) - ref < 600
+    # level 2: per-chip queues sit between per-core and global
+    chips = [r.mean_ns for r in res.per_level["chip"]]
+    assert min(chips) >= ref
+    # level 3: the global queue collapses (paper: 4.7 us vs 0.77 us)
+    assert res.global_row.mean_ns > 2.5 * ref
+    assert res.global_row.mean_ns > max(chips)
+    # execution spreads over the other cores, none starves completely
+    assert len(res.global_row.shares) >= 5

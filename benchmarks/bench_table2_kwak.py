@@ -1,0 +1,61 @@
+"""Table II — task-scheduling microbenchmark on kwak (4x4 cores, NUMA).
+
+Regenerates every row of the paper's Table II.  Asserted shape: local L3
+rows ~0.7 us, remote-NUMA rows ~1 us above them, the global queue an
+order of magnitude up (paper: 13.6 us), a NUMA-unbalanced execution
+distribution on the global queue, and the kwak/borderline global ratio.
+"""
+
+from repro.bench.paper_targets import targets_for
+from repro.bench.reporting import format_microbench
+from repro.bench.task_microbench import run_task_microbench
+from repro.topology import borderline, kwak
+
+
+def test_table2_kwak(once, bench_scale):
+    res = once(
+        run_task_microbench, kwak(), reps=bench_scale["microbench_reps"], seed=1
+    )
+    print()
+    print(format_microbench(res, paper=targets_for("kwak")))
+
+    ref = res.reference_ns()
+    local = [res.row_by_label(f"core#{c}").mean_ns for c in range(4)]
+    remote = [res.row_by_label(f"core#{c}").mean_ns for c in range(4, 16)]
+    # remote NUMA adds on the order of a microsecond (paper: ~1 us)
+    gap = min(remote) - max(local)
+    assert 500 < gap < 2_500, f"remote-NUMA gap {gap} outside expected band"
+    assert max(remote) - min(remote) < 0.15 * ref, "remote rows should be flat"
+    # the global queue collapses hard (paper: 13.6 us vs 0.72 us ~ 19x)
+    g = res.global_row.mean_ns
+    assert g > 8 * ref
+    assert g > max(r.mean_ns for rows in res.per_level.values() for r in rows)
+    # unbalanced pickup at the NUMA level (the paper: "most of the tasks
+    # are executed by cores located on NUMA node #2"): the busiest node
+    # clearly exceeds its uniform expectation
+    shares = res.global_row.shares
+    node_share = {n: 0.0 for n in range(4)}
+    for core, share in shares.items():
+        node_share[core // 4] += share
+    expected = {n: len([c for c in range(n * 4, n * 4 + 4) if c != 0]) / 15.0
+                for n in range(4)}
+    skew = max(node_share[n] / expected[n] for n in range(4))
+    print(f"NUMA pickup shares: { {n: round(v, 2) for n, v in node_share.items()} } "
+          f"(max skew {skew:.2f}x uniform)")
+    assert skew > 1.15
+
+
+def test_global_queue_scales_with_cores(once, bench_scale):
+    """The paper: global-queue overhead 'appears to grow quickly with the
+    number of cores' — kwak (16) costs ~2.9x borderline (8)."""
+
+    def both():
+        r8 = run_task_microbench(borderline(), reps=bench_scale["microbench_reps"] // 2, seed=3)
+        r16 = run_task_microbench(kwak(), reps=bench_scale["microbench_reps"] // 2, seed=3)
+        return r8, r16
+
+    r8, r16 = once(both)
+    ratio = r16.global_row.mean_ns / r8.global_row.mean_ns
+    print(f"\nglobal-queue cost: 8 cores {r8.global_row.mean_ns:.0f} ns, "
+          f"16 cores {r16.global_row.mean_ns:.0f} ns, ratio {ratio:.2f} (paper: 2.88)")
+    assert ratio > 1.5, "global queue must get worse with more cores"

@@ -1,0 +1,50 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark runs a complete simulation once (``benchmark.pedantic``
+with one round — the simulation's *virtual* measurements are the result;
+pytest-benchmark tracks the host-side cost of regenerating them), prints
+the paper-shaped table to stdout, and asserts the qualitative shape the
+paper reports.
+
+Set ``REPRO_BENCH_FULL=1`` for paper-scale parameters (slower: full
+repetition counts, 128 fig-4 threads, 9-point overlap curves).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Benchmark sizing knobs, reduced by default for CI-friendly runs."""
+    if FULL:
+        return {
+            "microbench_reps": 300,
+            "fig4_threads": (1, 2, 4, 8, 16, 32, 64, 128),
+            "fig4_iters": 4,
+            "overlap_points": 9,
+            "overlap_reps": 3,
+        }
+    return {
+        "microbench_reps": 120,
+        "fig4_threads": (1, 2, 4, 8, 16, 32),
+        "fig4_iters": 3,
+        "overlap_points": 6,
+        "overlap_reps": 2,
+    }
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _once(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _once

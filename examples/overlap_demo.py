@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Communication/computation overlap: PIOMan vs an MVAPICH-like baseline.
+
+The scenario of paper Fig. 6 (the headline result): a receiver posts a
+non-blocking receive for a 1 MB message, computes for a while, then waits.
+With PIOMan the rendezvous handshake is executed by tasks on idle cores
+while the receiver computes; with the baseline nothing moves until the
+receiver re-enters MPI.
+
+Run:  python3 examples/overlap_demo.py
+"""
+
+from repro import Cluster, MadMPI, MVAPICHLike, fmt_ns
+from repro.bench.reporting import sparkline
+from repro.threads.instructions import Compute
+
+SIZE = 1024 * 1024
+COMPUTES_US = [0, 250, 500, 750, 1000, 1250, 1500, 1750, 2000]
+
+
+def measure(impl_cls, compute_ns: int) -> float:
+    cluster = Cluster(2, seed=1)
+    mpi = impl_cls(cluster)
+    cs, cr = mpi.comm(0), mpi.comm(1)
+    out = {}
+
+    def sender(ctx):
+        yield from cs.recv(ctx.core_id, 1, 99)  # wait for "recv posted"
+        req = yield from cs.isend(ctx.core_id, 1, 5, SIZE, payload=b"body")
+        yield from cs.wait(ctx.core_id, req)
+
+    def receiver(ctx):
+        req = yield from cr.irecv(ctx.core_id, 0, 5)
+        yield from cr.send(ctx.core_id, 0, 99, 4, payload=b"go")
+        t0 = ctx.now
+        yield Compute(compute_ns)
+        yield from cr.wait(ctx.core_id, req)
+        out["total"] = ctx.now - t0
+
+    cluster.nodes[0].scheduler.spawn(sender, 0, name="send")
+    cluster.nodes[1].scheduler.spawn(receiver, 0, name="recv")
+    cluster.run(until=1_000_000_000)
+    total = out["total"]
+    return compute_ns / total if total else 0.0
+
+
+def main() -> None:
+    print(f"Receiver-side overlap, {SIZE // 1024} KB rendezvous message")
+    print(f"{'compute':>10} {'PIOMan':>8} {'MVAPICH-like':>13}")
+    curves = {"PIOMan": [], "MVAPICH": []}
+    for us in COMPUTES_US:
+        p = measure(MadMPI, us * 1000)
+        m = measure(MVAPICHLike, us * 1000)
+        curves["PIOMan"].append(p)
+        curves["MVAPICH"].append(m)
+        print(f"{us:>8} us {p:>8.2f} {m:>13.2f}")
+    print()
+    for name, vals in curves.items():
+        print(f"  {name:<12} {sparkline(vals)}")
+    print("\nPIOMan saturates once computation exceeds the wire time;")
+    print("the baseline stays on the no-overlap hyperbola T/(T+Tcomm).")
+
+
+if __name__ == "__main__":
+    main()

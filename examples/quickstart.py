@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: PIOMan's task scheduling on a simulated 16-core NUMA host.
+
+Demonstrates the core API surface:
+
+* build a machine topology and a thread scheduler;
+* submit lightweight tasks with CPU-set affinity;
+* watch the hierarchy route them (per-core / per-L3 / global queues);
+* use a repeat task as a poll loop;
+* read back execution statistics.
+
+Run:  python3 examples/quickstart.py
+"""
+
+from repro import CpuSet, Engine, LTask, PIOMan, Scheduler, TaskOption, fmt_ns, kwak
+from repro.core import piom_wait, wait_all
+
+
+def main() -> None:
+    machine = kwak()
+    print(machine.describe())
+
+    engine = Engine()
+    scheduler = Scheduler(machine, engine)
+    pioman = PIOMan(machine, engine, scheduler)
+
+    events = []
+
+    def app(ctx):
+        # 1. a task pinned to one remote core
+        pinned = LTask(
+            lambda t: events.append(("pinned ran on", t.current_core)),
+            cpuset=CpuSet.single(9),
+            name="pinned",
+        )
+        yield from pioman.submit(ctx.core_id, pinned)
+        yield from piom_wait(pioman, ctx.core_id, pinned, mode="spin")
+
+        # 2. a task for any core of NUMA node #1 (cores 4-7: per-L3 queue)
+        node1 = LTask(
+            lambda t: events.append(("numa-node task ran on", t.current_core)),
+            cpuset=CpuSet.range(4, 8),
+            name="numa1",
+        )
+        yield from pioman.submit(ctx.core_id, node1)
+        yield from piom_wait(pioman, ctx.core_id, node1, mode="spin")
+
+        # 3. a repeat (polling-style) task: completes on its third attempt
+        attempts = []
+
+        def poll(task):
+            attempts.append(ctx.now)
+            return len(attempts) >= 3
+
+        poller = LTask(
+            poll, cpuset=CpuSet.single(2), options=TaskOption.REPEAT, name="poll"
+        )
+        yield from pioman.submit(ctx.core_id, poller)
+        yield from piom_wait(pioman, ctx.core_id, poller, mode="spin")
+        events.append(("poll attempts", len(attempts)))
+
+        # 4. a burst across the whole machine through the global queue
+        burst = [
+            LTask(None, cpuset=machine.all_cores(), name=f"burst{i}")
+            for i in range(8)
+        ]
+        for task in burst:
+            yield from pioman.submit(ctx.core_id, task)
+        yield from wait_all(pioman, ctx.core_id, burst, mode="spin")
+
+    scheduler.spawn(app, core=0, name="app")
+    engine.run()
+
+    print()
+    for what, value in events:
+        print(f"  {what}: {value}")
+    print(f"\nvirtual time elapsed: {fmt_ns(engine.now)}")
+    print(f"tasks executed: {pioman.stats.executions}, "
+          f"completed: {pioman.stats.tasks_completed}")
+    shares = pioman.execution_shares()
+    print("execution shares by core:",
+          {c: f"{s:.0%}" for c, s in shares.items()})
+    gq = pioman.hierarchy.global_queue
+    print(f"global queue: {gq.stats.enqueues} enqueues, "
+          f"{gq.stats.dequeues} dequeues, "
+          f"{gq.lock.stats.contended} contended lock acquisitions")
+
+    from repro.sim.report import full_report
+
+    print()
+    print(full_report(scheduler, pioman))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Exploiting scheduling holes (paper §II-B).
+
+"More cores implies longer intra-node synchronization.  These
+synchronization issues often leave holes in thread scheduling.  We showed
+that it is possible to exploit these holes to make the communication
+library progress."
+
+Node 0 runs a bulk-synchronous application: eight worker threads compute
+in phases separated by a barrier-style join.  Workers finish their phases
+at slightly different times, so cores idle briefly while waiting — the
+*holes*.  Meanwhile the application keeps a 256 KB rendezvous receive in
+flight per phase.  PIOMan's idle keypoints run the rendezvous handshake
+inside those holes, so the communication costs the application almost
+nothing; the baseline model (progress only inside MPI calls) pays for it
+at every wait.
+
+Run:  python3 examples/scheduling_holes.py
+"""
+
+from repro import Cluster, MadMPI, MVAPICHLike, fmt_ns
+from repro.threads.instructions import Compute
+
+PHASES = 6
+SIZE = 256 * 1024
+PHASE_NS = 300_000  # mean per-phase compute
+
+
+def run(impl_cls, label):
+    cluster = Cluster(2, seed=31)
+    mpi = impl_cls(cluster)
+    c_app, c_peer = mpi.comm(0), mpi.comm(1)
+    node0 = cluster.nodes[0]
+    out = {}
+
+    def worker(wid, phase):
+        # deterministic per-worker jitter: early finishers idle at the
+        # phase barrier — these are the scheduling holes
+        def body(ctx):
+            yield Compute(PHASE_NS + (wid * 7919 + phase * 104729) % 60_000)
+
+        return body
+
+    def app_main(ctx):
+        t0 = ctx.now
+        longest = 0
+        for phase in range(PHASES):
+            req = yield from c_app.irecv(ctx.core_id, 1, phase)
+            workers = [
+                ctx.spawn(worker(w, phase), core=w, name=f"w{w}p{phase}")
+                for w in range(1, node0.machine.ncores)
+            ]
+            yield Compute(PHASE_NS)  # the main thread's share on core 0
+            for w in workers:
+                yield from ctx.scheduler.join(w)  # phase barrier
+            longest += PHASE_NS + max(
+                (w * 7919 + phase * 104729) % 60_000
+                for w in range(1, node0.machine.ncores)
+            )
+            yield from c_app.wait(ctx.core_id, req)
+        out["elapsed"] = ctx.now - t0
+        out["compute_bound"] = longest
+
+    def peer(ctx):
+        for phase in range(PHASES):
+            yield from c_peer.send(ctx.core_id, 0, phase, SIZE, payload=phase)
+
+    cluster.nodes[0].scheduler.spawn(app_main, 0, name="app")
+    cluster.nodes[1].scheduler.spawn(peer, 0, name="peer")
+    cluster.run(until=2_000_000_000)
+
+    overhead = out["elapsed"] - out["compute_bound"]
+    print(f"  {label:<14} {PHASES} phases + {PHASES} x {SIZE // 1024} KB recv: "
+          f"{fmt_ns(out['elapsed'])} "
+          f"(beyond the compute critical path: {fmt_ns(max(overhead, 0))})")
+    return out["elapsed"]
+
+
+def main() -> None:
+    print("Bulk-synchronous app with per-phase 256 KB receives (node 0 fully "
+          "threaded)\n")
+    t_pioman = run(MadMPI, "PIOMan")
+    t_base = run(MVAPICHLike, "MVAPICH-like")
+    print()
+    comm_serial = PHASES * (SIZE * 1000 // 1500)  # wire bound per phase
+    print(f"  fully serial communication would add {fmt_ns(comm_serial)} — the")
+    print(f"  baseline pays almost exactly that (it progresses only inside")
+    print(f"  MPI calls).  PIOMan starts each handshake at the first")
+    print(f"  scheduling hole (the phase barrier's straggler window), hiding")
+    print(f"  part of every transfer: {t_base / t_pioman:.2f}x faster end-to-end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so legacy editable installs work in offline environments.
+
+Modern installs use pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` where the ``wheel`` package is
+unavailable (PEP 660 editable builds require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""Ablation workloads for the design choices DESIGN.md calls out.
+
+* A1 — hierarchical queues vs one flat global list (§III motivation);
+* A2 — spinlocks vs blocking mutexes on the queues (§IV-A);
+* A3 — Algorithm 2's double-checked locking vs always-lock;
+* A4 — lock-free (CAS) queues, the paper's future work (§VI).
+
+The shared workload is an *affinity burst*: core #0 submits one task per
+remote core back-to-back, then waits for all of them — the pattern a
+communication library generates when it fans polling/submission work out
+across the machine.  The hierarchy executes the burst through independent
+per-core queues; the degraded variants funnel everything through shared
+structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.manager import PIOMan
+from repro.core.progress import piom_wait
+from repro.core.queues import TaskQueue
+from repro.core.task import LTask
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.sync.stats import LockStats
+from repro.threads.scheduler import Scheduler
+from repro.topology.cpuset import CpuSet
+from repro.topology.machine import Machine
+
+
+@dataclass
+class BurstResult:
+    """Mean virtual ns per burst plus queue-layer statistics."""
+
+    label: str
+    mean_burst_ns: float
+    lock_sections: int
+    lock_contended: int
+    executions_by_core: dict[int, int]
+
+
+def run_affinity_burst(
+    machine: Machine,
+    *,
+    hierarchical: bool = True,
+    queue_factory: Callable = TaskQueue,
+    bursts: int = 60,
+    seed: int = 5,
+    label: str = "",
+) -> BurstResult:
+    """Submit one task per non-submitting core, wait for all; repeat."""
+    engine = Engine()
+    sched = Scheduler(machine, engine, rng=Rng(seed))
+    pioman = PIOMan(
+        machine, engine, sched, hierarchical=hierarchical, queue_factory=queue_factory
+    )
+    times: list[int] = []
+
+    def submitter(ctx):
+        for burst in range(bursts):
+            t0 = ctx.now
+            tasks = []
+            for c in range(1, machine.ncores):
+                task = LTask(None, cpuset=CpuSet.single(c), name=f"b{burst}c{c}")
+                yield from pioman.submit(0, task)
+                tasks.append(task)
+            for task in tasks:
+                yield from piom_wait(pioman, 0, task, mode="spin")
+            times.append(ctx.now - t0)
+
+    sched.spawn(submitter, 0, name="burst")
+    engine.run(until=bursts * machine.ncores * 1_000_000)
+    if len(times) < bursts:
+        raise RuntimeError(f"affinity burst stalled after {len(times)}/{bursts}")
+    steady = times[len(times) // 5 :]
+    agg = LockStats()
+    for q in pioman.hierarchy.queues():
+        agg.acquires += q.lock.stats.acquires
+        agg.contended += q.lock.stats.contended
+        agg.handoffs += q.lock.stats.handoffs
+    return BurstResult(
+        label=label or ("hierarchical" if hierarchical else "flat"),
+        mean_burst_ns=sum(steady) / len(steady),
+        lock_sections=agg.acquires,
+        lock_contended=agg.contended,
+        executions_by_core=dict(pioman.stats.executions_by_core),
+    )

@@ -1,0 +1,122 @@
+"""OSU-style streaming bandwidth benchmark (extension).
+
+Not a paper artifact, but the standard companion to the latency test of
+Fig. 4 (the OSU suite the paper cites [14] ships both): the sender keeps
+``window`` non-blocking sends in flight per iteration; the receiver
+pre-posts matching receives and acknowledges each window.  Reported
+bandwidth should approach the driver's wire rate for large messages —
+a sanity anchor for the whole nmad/NIC stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Type
+
+from repro.cluster.cluster import Cluster
+from repro.net.driver import DriverSpec, IB_CONNECTX
+from repro.topology.builder import borderline
+from repro.topology.machine import Machine
+
+
+@dataclass
+class BandwidthPoint:
+    size_bytes: int
+    mb_per_s: float
+
+
+@dataclass
+class BandwidthSeries:
+    impl: str
+    points: list[BandwidthPoint] = field(default_factory=list)
+
+    def at(self, size: int) -> float:
+        for p in self.points:
+            if p.size_bytes == size:
+                return p.mb_per_s
+        raise KeyError(size)
+
+
+def run_bandwidth_once(
+    impl_cls: Type,
+    size_bytes: int,
+    *,
+    window: int = 16,
+    iters: int = 4,
+    warmup: int = 1,
+    machine_factory: Callable[[], Machine] = borderline,
+    driver: DriverSpec = IB_CONNECTX,
+    seed: int = 0,
+) -> BandwidthPoint:
+    """One cell: streaming bandwidth at one message size."""
+    cluster = Cluster(2, machine_factory=machine_factory, drivers=(driver,), seed=seed)
+    mpi = impl_cls(cluster)
+    cs, cr = mpi.comm(0), mpi.comm(1)
+    marks: list[tuple[int, int]] = []  # (t_start, t_end) per measured iter
+    ACK = 7777
+
+    def sender(ctx):
+        for it in range(warmup + iters):
+            t0 = ctx.now
+            reqs = []
+            for k in range(window):
+                r = yield from cs.isend(ctx.core_id, 1, k, size_bytes, payload=it)
+                reqs.append(r)
+            for r in reqs:
+                yield from cs.wait(ctx.core_id, r)
+            yield from cs.recv(ctx.core_id, 1, ACK)
+            if it >= warmup:
+                marks.append((t0, ctx.now))
+
+    def receiver(ctx):
+        for it in range(warmup + iters):
+            reqs = []
+            for k in range(window):
+                r = yield from cr.irecv(ctx.core_id, 0, k)
+                reqs.append(r)
+            for r in reqs:
+                yield from cr.wait(ctx.core_id, r)
+            yield from cr.send(ctx.core_id, 0, ACK, 4, payload=b"a")
+
+    cluster.nodes[0].scheduler.spawn(sender, 0, name="bw-send")
+    cluster.nodes[1].scheduler.spawn(receiver, 0, name="bw-recv")
+    cluster.run(until=(warmup + iters) * (window * size_bytes * 10 + 50_000_000))
+    if len(marks) < iters:
+        raise RuntimeError(f"bandwidth bench stalled at {size_bytes}B")
+    total_bytes = iters * window * size_bytes
+    total_ns = sum(t1 - t0 for t0, t1 in marks)
+    mb_per_s = total_bytes / (total_ns / 1e9) / 1e6
+    return BandwidthPoint(size_bytes=size_bytes, mb_per_s=mb_per_s)
+
+
+def run_bandwidth(
+    impls: Optional[Sequence[Type]] = None,
+    sizes: Sequence[int] = (1024, 8 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024),
+    **kwargs,
+) -> list[BandwidthSeries]:
+    if impls is None:
+        from repro.mpi import IMPLEMENTATIONS
+
+        impls = list(IMPLEMENTATIONS.values())
+    out = []
+    for impl_cls in impls:
+        series = BandwidthSeries(impl=impl_cls.name)
+        for size in sizes:
+            series.points.append(run_bandwidth_once(impl_cls, size, **kwargs))
+        out.append(series)
+    return out
+
+
+def format_bandwidth(series: Sequence[BandwidthSeries]) -> str:
+    if not series:
+        return "(no series)"
+    sizes = [p.size_bytes for p in series[0].points]
+    lines = ["Streaming bandwidth (MB/s)"]
+    lines.append(f"{'size':>10}" + "".join(f"{s.impl:>12}" for s in series))
+    for size in sizes:
+        label = f"{size // 1024} KB" if size < 1024 * 1024 else f"{size // (1024 * 1024)} MB"
+        row = f"{label:>10}"
+        for s in series:
+            row += f"{s.at(size):>12.0f}"
+        lines.append(row)
+    return "\n".join(lines)

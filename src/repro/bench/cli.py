@@ -1,0 +1,129 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.bench table1
+    python -m repro.bench table2 --reps 300
+    python -m repro.bench fig4 --threads 1,2,4,8,16,32,64,128
+    python -m repro.bench fig5 --points 9
+    python -m repro.bench fig6 fig7
+    python -m repro.bench all --json results.json   # machine-readable dump
+    python -m repro.bench scalability bandwidth     # extensions
+
+(also installed as the ``repro-bench`` console script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Sequence
+
+
+def _to_jsonable(obj: Any) -> Any:
+    """Recursively convert bench result objects to plain JSON data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _to_jsonable(v) for k, v in dataclasses.asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    return obj
+
+from repro.bench.latency import run_fig4
+from repro.bench.overlap import run_overlap_figure
+from repro.bench.paper_targets import targets_for
+from repro.bench.reporting import format_latency, format_microbench, format_overlap
+from repro.bench.task_microbench import run_task_microbench
+from repro.topology.builder import MACHINES
+
+FIG_PLACEMENTS = {"fig5": "sender", "fig6": "receiver", "fig7": "both"}
+ALL_TARGETS = (
+    "table1", "table2", "fig4", "fig5", "fig6", "fig7",
+    "scalability", "bandwidth",
+)
+
+
+def _ints(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-bench", description="Regenerate the paper's tables and figures."
+    )
+    ap.add_argument(
+        "targets",
+        nargs="+",
+        choices=ALL_TARGETS + ("all",),
+        help="which artifacts to regenerate",
+    )
+    ap.add_argument("--reps", type=int, default=200, help="microbench repetitions")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument(
+        "--threads", type=_ints, default=[1, 2, 4, 8, 16, 32, 64, 128],
+        help="fig4 thread counts (comma separated)",
+    )
+    ap.add_argument("--points", type=int, default=9, help="overlap points per curve")
+    ap.add_argument("--iters", type=int, default=4, help="fig4 iterations per thread")
+    ap.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also dump every regenerated series to PATH as JSON",
+    )
+    args = ap.parse_args(argv)
+    collected: dict[str, Any] = {}
+
+    targets = list(args.targets)
+    if "all" in targets:
+        targets = list(ALL_TARGETS)
+
+    for target in targets:
+        if target in ("table1", "table2"):
+            machine_name = "borderline" if target == "table1" else "kwak"
+            machine = MACHINES[machine_name]()
+            res = run_task_microbench(machine, reps=args.reps, seed=args.seed)
+            print(f"\n=== {target.upper()} ({machine_name}) ===")
+            print(format_microbench(res, paper=targets_for(machine_name)))
+            collected[target] = _to_jsonable(res)
+        elif target == "fig4":
+            print("\n=== FIG 4 (multi-threaded latency) ===")
+            series = run_fig4(
+                thread_counts=args.threads,
+                iters_per_thread=args.iters,
+                seed=args.seed,
+            )
+            print(format_latency(series))
+            collected[target] = _to_jsonable(series)
+        elif target == "scalability":
+            from repro.bench.scalability import run_scalability
+
+            print("\n=== SCALABILITY (extension: global queue vs core count) ===")
+            study = run_scalability(reps=max(60, args.reps // 2), seed=args.seed)
+            print(study.format())
+            collected[target] = _to_jsonable(study)
+        elif target == "bandwidth":
+            from repro.bench.bandwidth import format_bandwidth, run_bandwidth
+
+            print("\n=== BANDWIDTH (extension: OSU-style streaming) ===")
+            bw = run_bandwidth(seed=args.seed)
+            print(format_bandwidth(bw))
+            collected[target] = _to_jsonable(bw)
+        elif target in FIG_PLACEMENTS:
+            placement = FIG_PLACEMENTS[target]
+            print(f"\n=== {target.upper()} (overlap, computation on {placement}) ===")
+            series = run_overlap_figure(
+                placement, npoints=args.points, seed=args.seed
+            )
+            print(format_overlap(series))
+            collected[target] = _to_jsonable(series)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(collected, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    sys.exit(main())

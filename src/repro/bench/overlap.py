@@ -1,0 +1,159 @@
+"""Communication/computation overlap benchmark — paper Figs. 5, 6, 7.
+
+The micro-benchmark of [15] (§V-C): post a non-blocking operation,
+compute for ``T``, then wait; the overlap ratio is
+
+    overlap = Tcomp / Ttotal
+
+where ``Ttotal`` is the time from the non-blocking post to the wait's
+return on the side(s) that compute.  One figure per computation placement:
+
+* Fig. 5 — computation on the **sender** (32 KB and 1 MB),
+* Fig. 6 — computation on the **receiver**,
+* Fig. 7 — computation on **both** sides.
+
+Expected shapes: every implementation overlaps on the sender side (the
+baselines via RDMA-read rendezvous); only PIOMan overlaps on the receiver
+side (handshake progressed by tasks on idle cores); on "both", the
+baselines degrade to no overlap while PIOMan stays high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Type
+
+from repro.cluster.cluster import Cluster
+from repro.net.driver import DriverSpec, IB_CONNECTX
+from repro.threads.instructions import Compute
+from repro.topology.builder import borderline
+from repro.topology.machine import Machine
+
+#: computation placements, paper figure numbering
+PLACEMENTS = ("sender", "receiver", "both")
+
+
+@dataclass
+class OverlapPoint:
+    compute_ns: int
+    ratio: float
+    total_ns: int
+
+
+@dataclass
+class OverlapSeries:
+    impl: str
+    placement: str
+    size_bytes: int
+    points: list[OverlapPoint] = field(default_factory=list)
+
+    def ratio_at(self, compute_ns: int) -> float:
+        for p in self.points:
+            if p.compute_ns == compute_ns:
+                return p.ratio
+        raise KeyError(compute_ns)
+
+
+def run_overlap_once(
+    impl_cls: Type,
+    placement: str,
+    size_bytes: int,
+    compute_ns: int,
+    *,
+    machine_factory: Callable[[], Machine] = borderline,
+    driver: DriverSpec = IB_CONNECTX,
+    reps: int = 3,
+    seed: int = 0,
+) -> OverlapPoint:
+    """One point of one overlap curve.
+
+    Protocol per repetition: the receiver posts ``irecv`` first and
+    confirms with a tiny sync message (so the send is never unexpected —
+    the micro-benchmark of [15] synchronizes the same way), then both
+    sides post / compute / wait according to the placement.
+    """
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}")
+    cluster = Cluster(2, machine_factory=machine_factory, drivers=(driver,), seed=seed)
+    mpi = impl_cls(cluster)
+    cs, cr = mpi.comm(0), mpi.comm(1)
+    totals: list[int] = []
+    SYNC_TAG, DATA_TAG = 99, 5
+
+    def sender(ctx):
+        for rep in range(reps):
+            # wait for "receive posted" notification
+            yield from cs.recv(ctx.core_id, 1, SYNC_TAG)
+            t0 = ctx.now
+            req = yield from cs.isend(ctx.core_id, 1, DATA_TAG, size_bytes, payload=rep)
+            if placement in ("sender", "both"):
+                yield Compute(compute_ns)
+            yield from cs.wait(ctx.core_id, req)
+            if placement in ("sender", "both"):
+                totals.append(ctx.now - t0)
+
+    def receiver(ctx):
+        for rep in range(reps):
+            req = yield from cr.irecv(ctx.core_id, 0, DATA_TAG)
+            yield from cr.send(ctx.core_id, 0, SYNC_TAG, 4, payload=b"go")
+            t0 = ctx.now
+            if placement in ("receiver", "both"):
+                yield Compute(compute_ns)
+            yield from cr.wait(ctx.core_id, req)
+            if placement in ("receiver", "both"):
+                totals.append(ctx.now - t0)
+            assert req.payload == rep, (req.payload, rep)
+
+    cluster.nodes[0].scheduler.spawn(sender, 0, name="ov-send")
+    cluster.nodes[1].scheduler.spawn(receiver, 0, name="ov-recv")
+    cluster.run(until=reps * (compute_ns + 100_000_000))
+    if not totals:
+        raise RuntimeError(
+            f"overlap bench produced no samples: {impl_cls.__name__} {placement}"
+        )
+    total = sum(totals) / len(totals)
+    ratio = compute_ns / total if total > 0 else 0.0
+    return OverlapPoint(compute_ns=compute_ns, ratio=min(ratio, 1.0), total_ns=int(total))
+
+
+def compute_grid(size_bytes: int, npoints: int = 9) -> list[int]:
+    """The paper's x-axes: 0..200 us for 32 KB, 0..2000 us for 1 MB."""
+    span = 200_000 if size_bytes <= 64 * 1024 else 2_000_000
+    return [round(i * span / (npoints - 1)) for i in range(npoints)]
+
+
+def run_overlap_figure(
+    placement: str,
+    *,
+    impls: Optional[Sequence[Type]] = None,
+    sizes: Sequence[int] = (32 * 1024, 1024 * 1024),
+    npoints: int = 9,
+    machine_factory: Callable[[], Machine] = borderline,
+    reps: int = 3,
+    seed: int = 0,
+) -> list[OverlapSeries]:
+    """All curves of one paper figure (both message sizes)."""
+    if impls is None:
+        from repro.mpi import IMPLEMENTATIONS
+
+        impls = list(IMPLEMENTATIONS.values())
+    out: list[OverlapSeries] = []
+    for size in sizes:
+        for impl_cls in impls:
+            series = OverlapSeries(
+                impl=impl_cls.name, placement=placement, size_bytes=size
+            )
+            for comp in compute_grid(size, npoints):
+                series.points.append(
+                    run_overlap_once(
+                        impl_cls,
+                        placement,
+                        size,
+                        comp,
+                        machine_factory=machine_factory,
+                        reps=reps,
+                        seed=seed,
+                    )
+                )
+            out.append(series)
+    return out

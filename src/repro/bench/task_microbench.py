@@ -1,0 +1,195 @@
+"""Task-scheduling microbenchmark — paper Tables I and II.
+
+"We measure the time spent to create an empty task (with no computation),
+to schedule it, and to notice its completion ... In all cases, the task is
+submitted by core #0."  (paper §V-A)
+
+One row per queue in the hierarchy:
+
+* per-core queues — one measurement per core ``c`` with CPU set ``{c}``;
+* per-chip / per-NUMA queues — one measurement per interior node, CPU set
+  = the node's core span;
+* global queue — CPU set = all cores.
+
+The submitting thread on core #0 runs a submit → wait loop.  For the
+``{core #0}`` row it waits in *active* mode (it is the only core allowed
+to execute the task, and the paper notes core #0 "both creates tasks and
+executes them").  For wider sets it waits spinning on the completion word
+while the other cores' pollers race for the task — the paper's observed
+regime (execution distributed over the allowed cores, unbalanced on the
+global queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.manager import PIOMan
+from repro.core.progress import piom_wait
+from repro.core.queues import TaskQueue
+from repro.core.task import LTask
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.threads.scheduler import Scheduler
+from repro.topology.cpuset import CpuSet
+from repro.topology.machine import Level, Machine
+
+
+@dataclass
+class RowResult:
+    """One measured queue: mean round-trip and execution distribution."""
+
+    label: str
+    cpuset: list[int]
+    mean_ns: float
+    min_ns: int
+    max_ns: int
+    #: fraction of tasks executed by each core id
+    shares: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class MicrobenchResult:
+    """All rows for one machine (one paper table)."""
+
+    machine: str
+    ncores: int
+    per_core: list[RowResult] = field(default_factory=list)
+    per_level: dict[str, list[RowResult]] = field(default_factory=dict)
+    global_row: Optional[RowResult] = None
+
+    def reference_ns(self) -> float:
+        """The paper's reference: local scheduling on core #0."""
+        return self.per_core[0].mean_ns
+
+    def row_by_label(self, label: str) -> RowResult:
+        for row in self.all_rows():
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+    def all_rows(self) -> list[RowResult]:
+        rows = list(self.per_core)
+        for lst in self.per_level.values():
+            rows.extend(lst)
+        if self.global_row:
+            rows.append(self.global_row)
+        return rows
+
+
+def measure_queue(
+    machine: Machine,
+    cpuset: CpuSet,
+    *,
+    label: str = "",
+    reps: int = 200,
+    warmup_frac: float = 0.2,
+    seed: int = 1,
+    queue_factory: Callable = TaskQueue,
+    hierarchical: bool = True,
+    wait_mode: str = "auto",
+) -> RowResult:
+    """Measure submit→complete round-trips for one target CPU set.
+
+    A fresh simulation is built per measurement so rows are independent
+    (matching the paper's per-queue benchmarking).
+    """
+    engine = Engine()
+    sched = Scheduler(machine, engine, rng=Rng(seed))
+    pioman = PIOMan(
+        machine, engine, sched, queue_factory=queue_factory, hierarchical=hierarchical
+    )
+    if wait_mode == "auto":
+        wait_mode = "active" if cpuset == CpuSet.single(0) else "spin"
+    samples: list[int] = []
+
+    def submitter(ctx):
+        for i in range(reps):
+            t0 = ctx.now
+            task = LTask(None, cpuset=cpuset, name=f"bench{i}")
+            yield from pioman.submit(0, task)
+            yield from piom_wait(pioman, 0, task, mode=wait_mode)
+            samples.append(ctx.now - t0)
+
+    sched.spawn(submitter, 0, name="bench-submitter")
+    # Generous bound: no sane round-trip exceeds 1 ms; a hit means a task
+    # was stranded (a model bug), so fail loudly rather than hang.
+    engine.run(until=reps * 1_000_000)
+    if len(samples) < reps:
+        raise RuntimeError(
+            f"microbench stalled: {len(samples)}/{reps} round-trips for "
+            f"cpuset {list(cpuset)} on {machine.spec.name}"
+        )
+    cut = int(len(samples) * warmup_frac)
+    steady = samples[cut:] or samples
+    queue = pioman.hierarchy.queue_for_cpuset(cpuset)
+    total_deq = sum(queue.stats.dequeued_by.values()) or 1
+    shares = {
+        c: n / total_deq for c, n in sorted(queue.stats.dequeued_by.items())
+    }
+    return RowResult(
+        label=label or f"cpuset{list(cpuset)}",
+        cpuset=list(cpuset),
+        mean_ns=sum(steady) / len(steady),
+        min_ns=min(steady),
+        max_ns=max(steady),
+        shares=shares,
+    )
+
+
+def run_task_microbench(
+    machine: Machine,
+    *,
+    reps: int = 200,
+    seed: int = 1,
+    queue_factory: Callable = TaskQueue,
+    hierarchical: bool = True,
+) -> MicrobenchResult:
+    """Full Table I/II sweep: every queue of the hierarchy."""
+    res = MicrobenchResult(machine=machine.spec.name, ncores=machine.ncores)
+    for c in range(machine.ncores):
+        res.per_core.append(
+            measure_queue(
+                machine,
+                CpuSet.single(c),
+                label=f"core#{c}",
+                reps=reps,
+                seed=seed + c,
+                queue_factory=queue_factory,
+                hierarchical=hierarchical,
+            )
+        )
+    # Interior levels: one row per distinct interior queue, using the same
+    # collapse rule the hierarchy applies (duplicate-span levels merge).
+    from repro.core.hierarchy import QueueHierarchy
+
+    ref = QueueHierarchy(machine, Engine(), hierarchical=hierarchical)
+    for queue in ref.queues():
+        node = queue.node
+        if node.level == Level.CORE or node.cpuset == machine.root.cpuset:
+            continue
+        if len(node.cpuset) <= 1:
+            continue
+        level_name = node.level.name.lower()
+        res.per_level.setdefault(level_name, []).append(
+            measure_queue(
+                machine,
+                node.cpuset,
+                label=f"{level_name}#{node.index}",
+                reps=reps,
+                seed=seed + 100 + node.index,
+                queue_factory=queue_factory,
+                hierarchical=hierarchical,
+            )
+        )
+    res.global_row = measure_queue(
+        machine,
+        machine.all_cores(),
+        label="global",
+        reps=reps,
+        seed=seed + 999,
+        queue_factory=queue_factory,
+        hierarchical=hierarchical,
+    )
+    return res

@@ -1,0 +1,5 @@
+"""Multi-node cluster harness."""
+
+from repro.cluster.cluster import Cluster, Node
+
+__all__ = ["Cluster", "Node"]

@@ -1,0 +1,112 @@
+"""Cluster assembly.
+
+A :class:`Cluster` wires N simulated nodes — each with its own machine
+topology, thread scheduler and PIOMan instance — onto one shared virtual
+clock and one fabric.  This mirrors the paper's testbed: BORDERLINE is a
+cluster of 8-core Opteron boxes, each holding one Myri-10G and one
+ConnectX InfiniBand NIC, evaluated over InfiniBand (§V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core.manager import PIOMan
+from repro.core.queues import TaskQueue
+from repro.net.driver import DriverSpec, IB_CONNECTX
+from repro.net.fabric import Fabric
+from repro.net.nic import Nic
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.threads.scheduler import Scheduler
+from repro.topology.builder import borderline
+from repro.topology.machine import Machine
+
+
+class Node:
+    """One cluster node: machine + scheduler + PIOMan + NICs."""
+
+    def __init__(
+        self,
+        node_id: int,
+        machine: Machine,
+        engine: Engine,
+        fabric: Fabric,
+        drivers: Sequence[DriverSpec],
+        *,
+        rng: Rng,
+        tracer: Tracer = NULL_TRACER,
+        hierarchical: bool = True,
+        queue_factory: Callable = TaskQueue,
+    ) -> None:
+        self.id = node_id
+        self.machine = machine
+        self.engine = engine
+        self.scheduler = Scheduler(machine, engine, name=f"node{node_id}", rng=rng, tracer=tracer)
+        self.pioman = PIOMan(
+            machine,
+            engine,
+            self.scheduler,
+            hierarchical=hierarchical,
+            queue_factory=queue_factory,
+            tracer=tracer,
+            name=f"pioman@{node_id}",
+        )
+        self.nics: list[Nic] = [
+            fabric.new_nic(node_id, drv, index=i) for i, drv in enumerate(drivers)
+        ]
+        #: communication library instance (attached by nmad/mpi layers)
+        self.comm = None
+
+    def nic_by_driver(self, name: str) -> Nic:
+        for nic in self.nics:
+            if nic.driver.name == name:
+                return nic
+        raise KeyError(f"node {self.id} has no {name!r} NIC")
+
+    def __repr__(self) -> str:
+        return f"<Node {self.id} machine={self.machine.spec.name} nics={len(self.nics)}>"
+
+
+class Cluster:
+    """N homogeneous nodes over one fabric and one virtual clock."""
+
+    def __init__(
+        self,
+        nnodes: int = 2,
+        *,
+        machine_factory: Callable[[], Machine] = borderline,
+        drivers: Sequence[DriverSpec] = (IB_CONNECTX,),
+        seed: int = 0,
+        tracer: Tracer = NULL_TRACER,
+        hierarchical: bool = True,
+        queue_factory: Callable = TaskQueue,
+    ) -> None:
+        if nnodes < 1:
+            raise ValueError("need at least one node")
+        self.engine = Engine()
+        self.rng = Rng(seed)
+        self.fabric = Fabric(self.engine, rng=self.rng.fork(1))
+        self.tracer = tracer
+        self.nodes = [
+            Node(
+                i,
+                machine_factory(),
+                self.engine,
+                self.fabric,
+                drivers,
+                rng=self.rng.fork(100 + i),
+                tracer=tracer,
+                hierarchical=hierarchical,
+                queue_factory=queue_factory,
+            )
+            for i in range(nnodes)
+        ]
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the shared engine (see :meth:`repro.sim.Engine.run`)."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def __repr__(self) -> str:
+        return f"<Cluster nodes={len(self.nodes)} t={self.engine.now}>"

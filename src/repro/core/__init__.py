@@ -1,0 +1,25 @@
+"""PIOMan — the paper's scalable, generic lightweight task scheduler."""
+
+from repro.core.task import LTask, TaskFn, TaskOption, TaskState
+from repro.core.queues import AlwaysLockTaskQueue, QueueStats, TaskQueue
+from repro.core.variants import LockFreeTaskQueue, MutexTaskQueue
+from repro.core.hierarchy import QueueHierarchy
+from repro.core.manager import PIOMan, PIOManStats
+from repro.core.progress import piom_wait, wait_all
+
+__all__ = [
+    "LTask",
+    "TaskFn",
+    "TaskOption",
+    "TaskState",
+    "TaskQueue",
+    "AlwaysLockTaskQueue",
+    "MutexTaskQueue",
+    "LockFreeTaskQueue",
+    "QueueStats",
+    "QueueHierarchy",
+    "PIOMan",
+    "PIOManStats",
+    "piom_wait",
+    "wait_all",
+]

@@ -1,0 +1,101 @@
+"""Hierarchical queue tree — paper Fig. 2.
+
+One task queue per topology node, so the queue tree *is* the machine tree:
+Per-Core Queues at the leaves, Per-Cache / Per-Chip / Per-NUMA queues at
+interior nodes (whichever levels the machine has), and the Global Queue at
+the root.
+
+Two lookups dominate and are precomputed:
+
+* ``queue_for_cpuset`` — submission routing: the queue of the narrowest
+  node covering the task's CPU set (§III-A);
+* ``scan_path(core)`` — Algorithm 1's iteration order: the core's own
+  queue, then each ancestor up to the global queue.
+
+``hierarchical=False`` collapses the whole tree to the single Global Queue
+— the "naive solution" strawman of §III and ablation A1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.queues import TaskQueue
+from repro.topology.cpuset import CpuSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.topology.machine import Machine, TopoNode
+
+QueueFactory = Callable[..., TaskQueue]
+
+
+class QueueHierarchy:
+    """The tree of task queues mapped onto a machine topology."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        engine: "Engine",
+        *,
+        queue_factory: QueueFactory = TaskQueue,
+        hierarchical: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.engine = engine
+        self.hierarchical = hierarchical
+        self.by_node: dict[int, TaskQueue] = {}
+        if hierarchical:
+            # Collapse redundant levels: when an interior node spans exactly
+            # the same cores as its only child (e.g. a NUMA node holding a
+            # single chip/L3), one queue serves both — keep the innermost.
+            nodes = [
+                node
+                for node in machine.nodes
+                if node is machine.root
+                or not (
+                    len(node.children) == 1
+                    and node.children[0].cpuset == node.cpuset
+                )
+            ]
+        else:
+            nodes = [machine.root]
+        for node in nodes:
+            self.by_node[id(node)] = queue_factory(machine, engine, node)
+        self.global_queue = self.by_node[id(machine.root)]
+        #: scan order per core: per-core queue first, global queue last
+        self._scan_paths: list[list[TaskQueue]] = []
+        for core in machine.core_nodes:
+            path = [
+                self.by_node[id(anc)]
+                for anc in core.ancestors()
+                if id(anc) in self.by_node
+            ]
+            self._scan_paths.append(path)
+
+    # ------------------------------------------------------------------
+    def queue_for_cpuset(self, cpuset: CpuSet) -> TaskQueue:
+        """Submission routing: narrowest covering node's queue."""
+        if not self.hierarchical:
+            if not cpuset.issubset(self.machine.root.cpuset):
+                raise ValueError(f"{cpuset!r} exceeds machine cores")
+            return self.global_queue
+        node = self.machine.node_covering(cpuset)
+        return self.by_node[id(node)]
+
+    def scan_path(self, core: int) -> list[TaskQueue]:
+        """Algorithm 1 order for a core (local queue ... global queue)."""
+        return self._scan_paths[core]
+
+    def queues(self) -> list[TaskQueue]:
+        return list(self.by_node.values())
+
+    def queue_of_node(self, node: "TopoNode") -> Optional[TaskQueue]:
+        return self.by_node.get(id(node))
+
+    def total_queued(self) -> int:
+        return sum(len(q) for q in self.by_node.values())
+
+    def __repr__(self) -> str:
+        kind = "hierarchical" if self.hierarchical else "flat"
+        return f"<QueueHierarchy {kind} queues={len(self.by_node)}>"

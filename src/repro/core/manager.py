@@ -1,0 +1,297 @@
+"""The PIOMan task manager.
+
+Ties the pieces together:
+
+* :meth:`PIOMan.submit` — thread-context generator implementing §III-A
+  submission: initialise the task, route its CPU set to the narrowest
+  queue, enqueue under that queue's lock, and ring the doorbells of the
+  cores allowed to run it (the modeled equivalent of their spin-polling
+  noticing the list becoming non-empty).
+* :meth:`PIOMan.schedule_once` — paper **Algorithm 1**: scan queues from
+  the local per-core queue up to the global queue, running every task
+  found; repeat tasks whose function reports "not complete" are
+  re-enqueued into the same queue.  Returns ``(tasks_run,
+  repeats_pending)`` so the idle loop can pace its re-polling.
+* attaches itself to the thread scheduler as the progression hook, so
+  idle / timer / context-switch keypoints all drive it (§IV-A).
+
+The manager is deliberately independent of NewMadeleine: any client that
+can express work as ``LTask``s can use it (the "generic" in the title —
+see ``examples/io_offload.py`` for a non-networking client).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.core.hierarchy import QueueFactory, QueueHierarchy
+from repro.core.queues import TaskQueue
+from repro.core.task import LTask, TaskState
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.threads.flag import Flag
+from repro.threads.instructions import Compute, Instr, SetFlag
+from repro.threads.thread import Prio, TState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.threads.scheduler import Scheduler
+    from repro.topology.machine import Machine
+
+
+@dataclass
+class PIOManStats:
+    """Aggregate manager counters."""
+
+    submits: int = 0
+    tasks_completed: int = 0
+    executions: int = 0
+    repeat_requeues: int = 0
+    schedule_passes: int = 0
+    executions_by_core: dict[int, int] = field(default_factory=dict)
+
+    def note_exec(self, core: int) -> None:
+        self.executions += 1
+        self.executions_by_core[core] = self.executions_by_core.get(core, 0) + 1
+
+
+class PIOMan:
+    """The lightweight task scheduling system (the paper's contribution)."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        engine: "Engine",
+        scheduler: Optional["Scheduler"] = None,
+        *,
+        queue_factory: QueueFactory = TaskQueue,
+        hierarchical: bool = True,
+        tracer: Tracer = NULL_TRACER,
+        name: str = "pioman",
+    ) -> None:
+        self.machine = machine
+        self.engine = engine
+        self.scheduler = scheduler
+        self.tracer = tracer
+        self.name = name
+        self.hierarchy = QueueHierarchy(
+            machine, engine, queue_factory=queue_factory, hierarchical=hierarchical
+        )
+        self.stats = PIOManStats()
+        if scheduler is not None:
+            scheduler.progression_hook = self.schedule_once
+
+    # ------------------------------------------------------------------
+    # task construction & submission
+    # ------------------------------------------------------------------
+    def make_task(self, func, arg=None, **kwargs) -> LTask:
+        """Convenience constructor (see :class:`~repro.core.task.LTask`)."""
+        return LTask(func, arg, **kwargs)
+
+    def submit(self, core: int, task: LTask) -> Generator[Instr, Any, LTask]:
+        """Submit ``task`` from ``core`` (thread-context generator).
+
+        Binds the completion flag (home = submitting core, like the
+        paper's task structure embedded in the submitter's packet
+        wrapper), routes the CPU set, enqueues, rings doorbells.
+        """
+        if task.state is not TaskState.CREATED:
+            raise RuntimeError(f"submit of {task.name!r} in state {task.state}")
+        spec = self.machine.spec
+        yield Compute(spec.task_init_ns)
+        task.completion = Flag(
+            self.machine, self.engine, home=core, name=f"done:{task.name or id(task)}"
+        )
+        task.submit_core = core
+        task.submit_time = self.engine.now
+        queue = self.hierarchy.queue_for_cpuset(task.cpuset)
+        yield Compute(spec.submit_route_ns)
+        yield from queue.enqueue(core, task)
+        self.stats.submits += 1
+        self.tracer.emit(
+            self.engine.now, "pioman", f"core{core}", f"submit {task.name} -> {queue.name}"
+        )
+        if self.scheduler is not None:
+            # Only cores that may run the task spin on its queue.
+            ringable = task.cpuset & queue.node.cpuset
+            self.scheduler.ring_cpuset(ringable, core)
+        return task
+
+    def submit_nowait(self, core: int, task: LTask) -> LTask:
+        """Host-instant submission from task context (tasks spawning tasks).
+
+        A running task's function cannot yield instructions; its own
+        ``cost_ns`` is expected to cover the submission work.  Routing,
+        completion-flag binding, statistics and doorbells behave exactly
+        like :meth:`submit`.
+        """
+        if task.state is not TaskState.CREATED:
+            raise RuntimeError(f"submit of {task.name!r} in state {task.state}")
+        task.completion = Flag(
+            self.machine, self.engine, home=core, name=f"done:{task.name or id(task)}"
+        )
+        task.submit_core = core
+        task.submit_time = self.engine.now
+        queue = self.hierarchy.queue_for_cpuset(task.cpuset)
+        queue.enqueue_nowait(core, task)
+        self.stats.submits += 1
+        if self.scheduler is not None:
+            ringable = task.cpuset & queue.node.cpuset
+            self.scheduler.ring_cpuset(ringable, core)
+        return task
+
+    def submit_preemptive(self, core: int, task: LTask) -> Generator[Instr, Any, LTask]:
+        """Future-work extension (§VI): run ``task`` at once on a remote
+        CPU by injecting a keypoint there, instead of waiting for the
+        target's next natural keypoint.
+
+        The task is routed to the *specific* best core's own queue (idle
+        preferred, nearest first) and that core gets an immediate kick.
+        """
+        from repro.topology.cpuset import CpuSet
+
+        target = self.find_idle_core(core, task.cpuset)
+        if target is None:
+            # Nobody idle: preempt the nearest allowed core instead of
+            # waiting for its next natural keypoint.
+            allowed = [c for c in task.cpuset if c < self.machine.ncores]
+            if not allowed:
+                raise ValueError("preemptive task has no core on this machine")
+            target = min(allowed, key=lambda c: self.machine.xfer(core, c))
+            task.cpuset = CpuSet.single(target)
+            result = yield from self.submit(core, task)
+            if self.scheduler is not None:
+                self.scheduler.inject_keypoint(target)
+            return result
+        task.cpuset = CpuSet.single(target)
+        result = yield from self.submit(core, task)
+        return result
+
+    def find_idle_core(self, from_core: int, cpuset) -> Optional[int]:
+        """§IV-B submission offload: nearest idle core allowed by the set.
+
+        "the state of each core is evaluated in order to find an idle core
+        that could process the task ... the nearest idle core is specified
+        in the CPU set".  Returns None when every allowed core is busy.
+        """
+        if self.scheduler is None:
+            return None
+        best: Optional[int] = None
+        best_d = None
+        for c in cpuset:
+            if c >= len(self.scheduler.cores):
+                continue
+            cur = self.scheduler.cores[c].current
+            idle_thread = self.scheduler.cores[c].idle_thread
+            is_idle = cur is None or cur is idle_thread
+            if not is_idle and cur is not None and cur.prio == Prio.IDLE:
+                is_idle = True
+            if is_idle:
+                d = self.machine.xfer(from_core, c)
+                if best is None or d < best_d:
+                    best, best_d = c, d
+        return best
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def schedule_once(self, core: int) -> Generator[Instr, Any, tuple[int, int]]:
+        """One full Algorithm-1 pass on ``core``.
+
+        Walks the queue scan path (per-core ... global).  Within a queue,
+        keeps dequeuing until empty, but each task is run at most once per
+        pass: a repeat task seen again after its own re-enqueue ends the
+        queue's inner loop (one poll attempt per task per keypoint —
+        PIOMan's real behaviour; a literal reading of Algorithm 1 would
+        poll a never-completing task forever).
+        """
+        ran = 0
+        repeats = 0
+        contended = False
+        self.stats.schedule_passes += 1
+        # Fast path: probe the whole scan path first and charge one batch
+        # of read costs.  When everything is (visibly) empty — by far the
+        # common case for an idle core — the pass costs a single event.
+        path = self.hierarchy.scan_path(core)
+        total_cost = 0
+        any_hot = False
+        for queue in path:
+            visible, cost = queue.probe(core)
+            total_cost += cost
+            any_hot = any_hot or visible
+        yield Compute(total_cost)
+        if not any_hot:
+            return 0, 0, False
+        for queue in path:
+            seen: set[int] = set()
+            while True:
+                lost_before = queue.stats.lost_races
+                task = yield from queue.get_task(core)
+                if task is None:
+                    if queue.stats.lost_races > lost_before:
+                        contended = True  # raced another core and lost
+                    break
+                if id(task) in seen:
+                    # already polled this pass; put it back and move on
+                    yield from queue.enqueue(core, task)
+                    break
+                seen.add(id(task))
+                complete = yield from self._run_task(core, queue, task)
+                ran += 1
+                if not complete:
+                    repeats += 1
+        return ran, repeats, contended
+
+    def _run_task(
+        self, core: int, queue: TaskQueue, task: LTask
+    ) -> Generator[Instr, Any, bool]:
+        spec = self.machine.spec
+        yield Compute(spec.task_run_ns + task.cost_ns)
+        complete = task.run(core)
+        self.stats.note_exec(core)
+        if task.repeat and not complete:
+            self.stats.repeat_requeues += 1
+            yield from queue.enqueue(core, task)
+            task.state = TaskState.QUEUED
+            return False
+        task.state = TaskState.DONE
+        task.complete_time = self.engine.now
+        self.stats.tasks_completed += 1
+        if task.completion is not None:
+            yield SetFlag(task.completion)
+        self.tracer.emit(
+            self.engine.now, "pioman", f"core{core}", f"completed {task.name}"
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # cancellation & inspection
+    # ------------------------------------------------------------------
+    def cancel(self, task: LTask) -> bool:
+        """Remove a queued task (host-instant; used at teardown). Returns
+        True if the task was found and cancelled."""
+        for queue in self.hierarchy.queues():
+            try:
+                queue._tasks.remove(task)
+            except ValueError:
+                continue
+            task.state = TaskState.CANCELLED
+            return True
+        return False
+
+    def pending_tasks(self) -> int:
+        return self.hierarchy.total_queued()
+
+    def execution_shares(self) -> dict[int, float]:
+        """Fraction of all executions done by each core (Tables I/II
+        commentary: balance within a chip, imbalance on the global queue).
+        """
+        total = self.stats.executions
+        if not total:
+            return {}
+        return {
+            c: n / total for c, n in sorted(self.stats.executions_by_core.items())
+        }
+
+    def __repr__(self) -> str:
+        return f"<PIOMan {self.name} pending={self.pending_tasks()} run={self.stats.executions}>"

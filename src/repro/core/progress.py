@@ -1,0 +1,81 @@
+"""Waiting on tasks — the WAIT keypoint.
+
+Three waiting disciplines, matching how the paper's components behave:
+
+* ``piom_wait(..., mode="active")`` — the waiter drives progression itself
+  in a loop (``{ check done; task_schedule(); }``), like PIOMan's own wait
+  primitive.  Used by the Tables I/II microbenchmark, where core #0 both
+  creates tasks and executes the local ones.
+* ``mode="spin"`` — pure busy-wait on the completion word: the waiter
+  burns its core but does not help; completion is noticed one cache-line
+  transfer after the executing core's store.
+* ``mode="block"`` — the waiter is descheduled on a blocking condition and
+  its core becomes available to run tasks; this is how Mad-MPI receivers
+  wait (paper §V-B: "receiving threads wait their data using a blocking
+  condition"), which is why its latency stays flat as threads multiply.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.core.task import LTask
+from repro.threads.instructions import BlockOn, Instr, SpinOn
+from repro.threads.scheduler import Keypoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.manager import PIOMan
+
+
+def piom_wait(
+    pioman: "PIOMan",
+    core: int,
+    task: LTask,
+    mode: str = "active",
+) -> Generator[Instr, Any, None]:
+    """Wait until ``task`` completes (thread-context generator)."""
+    flag = task.completion
+    if flag is None:
+        raise RuntimeError(f"task {task.name!r} was never submitted")
+    if mode == "block":
+        if not flag.is_set:
+            yield BlockOn(flag)
+        return
+    if mode == "spin":
+        if not flag.is_set:
+            yield SpinOn(flag)
+        return
+    if mode != "active":
+        raise ValueError(f"unknown wait mode {mode!r}")
+    if pioman.scheduler is not None:
+        pioman.scheduler.cores[core].keypoint_counts[Keypoint.WAIT] += 1
+    from repro.threads.instructions import Compute
+
+    misses = 0
+    while not flag.is_set:
+        ran = (yield from pioman.schedule_once(core))[0]
+        if flag.is_set:
+            return
+        if ran == 0:
+            misses += 1
+            if misses >= 2:
+                # Two empty scans in a row: the task is in some other
+                # core's hands (its doorbell already rang).  Spin on the
+                # completion word — we observe the remote store one line
+                # transfer after it lands, without hammering the queues.
+                yield SpinOn(flag)
+                return
+            yield Compute(pioman.machine.spec.spin_check_ns)
+        else:
+            misses = 0
+
+
+def wait_all(
+    pioman: "PIOMan",
+    core: int,
+    tasks: list[LTask],
+    mode: str = "active",
+) -> Generator[Instr, Any, None]:
+    """Wait for several tasks (in order; completion order is irrelevant)."""
+    for t in tasks:
+        yield from piom_wait(pioman, core, t, mode=mode)

@@ -1,0 +1,244 @@
+"""Task queues — paper Algorithm 2.
+
+A :class:`TaskQueue` sits on one topology node and is protected by a
+spinlock.  ``get_task`` implements the paper's double-checked pattern:
+
+    if notempty(Queue):        # read, NO lock
+        LOCK(Queue)
+        if notempty(Queue):    # re-check under the lock
+            Result <- dequeue(Queue)
+        UNLOCK(Queue)
+
+so scanning an empty queue costs one shared-state cache read and produces
+no lock traffic — the property that lets every idle core scan the whole
+hierarchy constantly without creating contention (paper §III-A/§IV-A).
+
+The emptiness word is its own cache line (``state_line``), distinct from
+the lock word, as in a real implementation where the list head and the
+lock do not share a line.
+
+:class:`AlwaysLockTaskQueue` is the ablation-A3 variant that takes the
+lock before checking, quantifying what Algorithm 2 saves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.mem.cacheline import CacheLine, MemStats
+from repro.sync.spinlock import SpinLock
+from repro.sync.stats import LockStats
+from repro.threads.instructions import Acquire, Compute, Instr, Release
+from repro.core.task import LTask, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.topology.machine import Machine, TopoNode
+
+
+@dataclass
+class QueueStats:
+    """Counters for one task queue."""
+
+    enqueues: int = 0
+    dequeues: int = 0
+    empty_checks: int = 0
+    nonempty_checks: int = 0
+    lock_sections: int = 0
+    lost_races: int = 0  # saw non-empty, locked, found empty
+    max_len: int = 0
+    dequeued_by: dict[int, int] = field(default_factory=dict)
+
+
+class TaskQueue:
+    """One spinlock-protected task list bound to a topology node."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        engine: "Engine",
+        node: "TopoNode",
+        *,
+        lock_stats: Optional[LockStats] = None,
+        mem_stats: Optional[MemStats] = None,
+    ) -> None:
+        self.machine = machine
+        self.engine = engine
+        self.node = node
+        self.name = f"q:{node.name}"
+        home = node.cpuset.first() if node.cpuset else 0
+        self.lock = SpinLock(
+            machine, engine, home=home, name=f"lock:{self.name}", stats=lock_stats, mem_stats=mem_stats
+        )
+        #: cache line holding the emptiness word / list head
+        self.state_line = CacheLine(machine, home=home, name=f"state:{self.name}", stats=mem_stats)
+        self._tasks: deque[LTask] = deque()
+        self.stats = QueueStats()
+        # Invalidation-propagation state: a core reading within one line
+        # transfer of the last emptiness *transition* still sees its stale
+        # cached copy (the invalidate has not reached it yet).  The stale
+        # window is what makes several pollers pile onto the lock of a
+        # just-emptied global queue — the contention the paper measures at
+        # level 3 — while the under-lock re-check keeps them correct.
+        self._trans_time = -(10**12)
+        self._trans_writer = home
+        self._prev_nonempty = False
+
+    def _visible_nonempty(self, core: int) -> bool:
+        """Emptiness as observed by ``core`` (stale within one transfer)."""
+        actual = bool(self._tasks)
+        if core == self._trans_writer:
+            return actual
+        lag = self.machine.inval(self._trans_writer, core)
+        if self.engine.now < self._trans_time + lag:
+            return self._prev_nonempty
+        return actual
+
+    def _note_transition(self, core: int, prev_nonempty: bool) -> None:
+        self._trans_time = self.engine.now
+        self._trans_writer = core
+        self._prev_nonempty = prev_nonempty
+
+    # ------------------------------------------------------------------
+    def _acquire(self) -> Instr:
+        return Acquire(self.lock)
+
+    def _release(self) -> Instr:
+        return Release(self.lock)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def probe(self, core: int) -> tuple[bool, int]:
+        """Host-instant emptiness probe: ``(visible_nonempty, cost_ns)``.
+
+        The observed value is resolved at the *start* of the read: a core
+        whose cached copy has not been invalidated yet reads that copy —
+        a local hit returning the stale value.  Only an up-to-date read
+        pays the transfer miss.  The caller charges the cost (so a full
+        scan of empty queues can be charged as one batch).
+        """
+        visible = self._visible_nonempty(core)
+        if visible != bool(self._tasks):
+            cost = self.machine.spec.local_ns  # stale copy, local hit
+            self.state_line.stats.reads += 1
+            self.state_line.stats.read_hits += 1
+        else:
+            cost = self.state_line.read(core)
+        if visible:
+            self.stats.nonempty_checks += 1
+        else:
+            self.stats.empty_checks += 1
+        return visible, cost
+
+    def peek_nonempty(self, core: int) -> Generator[Instr, Any, bool]:
+        """The lock-free emptiness probe (first check of Algorithm 2)."""
+        visible, cost = self.probe(core)
+        yield Compute(cost)
+        return visible
+
+    def enqueue(self, core: int, task: LTask) -> Generator[Instr, Any, None]:
+        """Append a task under the queue lock (thread-context generator)."""
+        yield self._acquire()
+        cost = self.state_line.write_async(core)
+        yield Compute(cost)
+        if not self._tasks:
+            self._note_transition(core, prev_nonempty=False)
+        self._tasks.append(task)
+        task.state = TaskState.QUEUED
+        task.queue_name = self.name
+        self.stats.enqueues += 1
+        if len(self._tasks) > self.stats.max_len:
+            self.stats.max_len = len(self._tasks)
+        yield self._release()
+
+    def enqueue_nowait(self, core: int, task: LTask) -> None:
+        """Host-instant enqueue for task/interrupt context.
+
+        Used when a running task spawns another task (e.g. a data-filter
+        stage): the caller cannot yield instructions, and its own task
+        cost already accounts for the submission work.  Transition
+        bookkeeping matches :meth:`enqueue`; lock traffic is not modeled
+        for this rare path.
+        """
+        if not self._tasks:
+            self._note_transition(core, prev_nonempty=False)
+        self.state_line.write_async(core)
+        self._tasks.append(task)
+        task.state = TaskState.QUEUED
+        task.queue_name = self.name
+        self.stats.enqueues += 1
+        if len(self._tasks) > self.stats.max_len:
+            self.stats.max_len = len(self._tasks)
+
+    def get_task(self, core: int) -> Generator[Instr, Any, Optional[LTask]]:
+        """Algorithm 2: double-checked dequeue."""
+        nonempty = yield from self.peek_nonempty(core)
+        if not nonempty:
+            return None
+        yield self._acquire()
+        self.stats.lock_sections += 1
+        cost = self.state_line.read(core)
+        task = self._pop_eligible(core)
+        if task is not None:
+            cost += self.state_line.write_async(core)
+            if not self._tasks:
+                self._note_transition(core, prev_nonempty=True)
+            self.stats.dequeues += 1
+            self.stats.dequeued_by[core] = self.stats.dequeued_by.get(core, 0) + 1
+        elif not self._tasks:
+            self.stats.lost_races += 1
+        yield Compute(cost)
+        yield self._release()
+        return task
+
+    def _pop_eligible(self, core: int) -> Optional[LTask]:
+        """Remove and return the first task ``core`` may execute.
+
+        A task's CPU set can be narrower than this queue's span (e.g. a
+        two-distant-cores set routed to the global queue), so eligibility
+        is checked at dequeue time; ineligible tasks stay queued in order.
+        """
+        for i, task in enumerate(self._tasks):
+            if task.cpuset.contains(core):
+                del self._tasks[i]
+                return task
+        return None
+
+    def drain(self) -> list[LTask]:
+        """Testing/shutdown helper: remove everything without cost."""
+        out = list(self._tasks)
+        self._tasks.clear()
+        return out
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} len={len(self._tasks)}>"
+
+
+class AlwaysLockTaskQueue(TaskQueue):
+    """Ablation A3: no lock-free pre-check — every scan takes the lock.
+
+    This is the naive reading of "each of these lists has to be protected
+    against concurrent access": idle cores scanning empty queues now
+    generate constant lock traffic.
+    """
+
+    def get_task(self, core: int) -> Generator[Instr, Any, Optional[LTask]]:
+        yield self._acquire()
+        self.stats.lock_sections += 1
+        cost = self.state_line.read(core)
+        task = self._pop_eligible(core)
+        if task is not None:
+            self.stats.nonempty_checks += 1
+            cost += self.state_line.write_async(core)
+            if not self._tasks:
+                self._note_transition(core, prev_nonempty=True)
+            self.stats.dequeues += 1
+            self.stats.dequeued_by[core] = self.stats.dequeued_by.get(core, 0) + 1
+        else:
+            self.stats.empty_checks += 1
+        yield Compute(cost)
+        yield self._release()
+        return task

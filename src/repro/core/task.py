@@ -1,0 +1,147 @@
+"""Lightweight tasks (ltasks).
+
+A task is "running a function with a given parameter" (paper §III) plus:
+
+* a **CPU set** restricting which cores may execute it;
+* an optional **repeat** flag: the task is re-enqueued into the same queue
+  until its function reports completion (used for NIC polling);
+* a **completion flag** other threads can spin or block on;
+* an embedded-allocation convention: NewMadeleine embeds the task in its
+  packet wrapper so submission allocates nothing (paper §IV-B) — here the
+  ``owner`` back-pointer plays that role and :class:`LTask` construction is
+  cheap and reusable via :meth:`reset`.
+
+The task function runs *host-instant*; its virtual duration is
+``MachineSpec.task_run_ns + cost_ns``.  For repeat tasks the function
+returns truthy when the task is complete (e.g. the poll succeeded).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.topology.cpuset import CpuSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.threads.flag import Flag
+
+
+class TaskOption(enum.Flag):
+    NONE = 0
+    #: re-enqueue until the function returns truthy (polling tasks)
+    REPEAT = enum.auto()
+    #: extension (paper §VI future work): may be executed immediately on a
+    #: remote CPU by injecting a keypoint there
+    PREEMPTIVE = enum.auto()
+
+
+class TaskState(enum.Enum):
+    CREATED = "created"
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+
+
+TaskFn = Callable[["LTask"], Any]
+
+
+class LTask:
+    """One lightweight task."""
+
+    __slots__ = (
+        "func",
+        "arg",
+        "cpuset",
+        "options",
+        "cost_ns",
+        "name",
+        "state",
+        "completion",
+        "owner",
+        "submit_core",
+        "submit_time",
+        "complete_time",
+        "executions",
+        "executed_by",
+        "queue_name",
+        "current_core",
+    )
+
+    def __init__(
+        self,
+        func: Optional[TaskFn],
+        arg: Any = None,
+        *,
+        cpuset: CpuSet,
+        options: TaskOption = TaskOption.NONE,
+        cost_ns: int = 0,
+        name: str = "",
+        owner: Any = None,
+    ) -> None:
+        if not cpuset:
+            raise ValueError("a task needs a non-empty CPU set")
+        if cost_ns < 0:
+            raise ValueError("negative task cost")
+        self.func = func
+        self.arg = arg
+        self.cpuset = cpuset
+        self.options = options
+        self.cost_ns = cost_ns
+        self.name = name
+        self.state = TaskState.CREATED
+        #: bound by the manager at submit time (needs machine + engine)
+        self.completion: Optional["Flag"] = None
+        self.owner = owner
+        self.submit_core: Optional[int] = None
+        self.submit_time: Optional[int] = None
+        self.complete_time: Optional[int] = None
+        self.executions = 0
+        #: core id -> times this task's function ran there
+        self.executed_by: dict[int, int] = {}
+        self.queue_name = ""
+        #: core currently (or last) executing this task's function
+        self.current_core: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def repeat(self) -> bool:
+        return bool(self.options & TaskOption.REPEAT)
+
+    @property
+    def preemptive(self) -> bool:
+        return bool(self.options & TaskOption.PREEMPTIVE)
+
+    @property
+    def done(self) -> bool:
+        return self.state is TaskState.DONE
+
+    def run(self, core: int) -> bool:
+        """Invoke the function on ``core``; returns completion verdict."""
+        self.state = TaskState.RUNNING
+        self.current_core = core
+        self.executions += 1
+        self.executed_by[core] = self.executed_by.get(core, 0) + 1
+        if self.func is None:
+            return True
+        result = self.func(self)
+        if not self.repeat:
+            return True
+        return bool(result)
+
+    def reset(self) -> None:
+        """Make the task submittable again (embedded-reuse convention)."""
+        if self.state in (TaskState.QUEUED, TaskState.RUNNING):
+            raise RuntimeError(f"cannot reset in-flight task {self.name!r}")
+        self.state = TaskState.CREATED
+        self.completion = None
+        self.submit_core = None
+        self.submit_time = None
+        self.complete_time = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<LTask {self.name or id(self)} {self.state.value} "
+            f"cpuset={list(self.cpuset)}{' repeat' if self.repeat else ''}>"
+        )

@@ -1,0 +1,107 @@
+"""Queue variants for the paper's design-choice ablations.
+
+* :class:`MutexTaskQueue` — ablation A2.  The paper argues (§IV-A) that a
+  blocking mutex is the wrong tool for queue-length critical sections: a
+  waiter pays a context switch both ways, dwarfing the section itself.
+* :class:`LockFreeTaskQueue` — ablation A4 / paper future work (§VI).  A
+  CAS-based MS-queue-style list: no lock word at all, but every operation
+  is an RMW on the head/tail line, with a retry penalty when several cores
+  hit the same line in a short window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.mem.cacheline import MemStats
+from repro.sync.mutex import Mutex
+from repro.sync.stats import LockStats
+from repro.threads.instructions import Compute, Instr, MutexAcquire, MutexRelease
+from repro.core.queues import TaskQueue
+from repro.core.task import LTask, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.topology.machine import Machine, TopoNode
+
+
+class MutexTaskQueue(TaskQueue):
+    """TaskQueue protected by a blocking mutex instead of a spinlock."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        engine: "Engine",
+        node: "TopoNode",
+        *,
+        lock_stats: Optional[LockStats] = None,
+        mem_stats: Optional[MemStats] = None,
+    ) -> None:
+        super().__init__(machine, engine, node, lock_stats=lock_stats, mem_stats=mem_stats)
+        home = node.cpuset.first() if node.cpuset else 0
+        self.mutex = Mutex(
+            machine, engine, home=home, name=f"mutex:{self.name}",
+            stats=self.lock.stats, mem_stats=mem_stats,
+        )
+
+    def _acquire(self) -> Instr:
+        return MutexAcquire(self.mutex)
+
+    def _release(self) -> Instr:
+        return MutexRelease(self.mutex)
+
+
+class LockFreeTaskQueue(TaskQueue):
+    """CAS-based queue: each enqueue/dequeue is one RMW on a hot line.
+
+    The contention model charges a retry penalty proportional to how many
+    *distinct* cores performed an RMW on the line within the last
+    ``retry_window_ns`` — a simple stand-in for CAS retry loops.
+    """
+
+    retry_window_ns = 200
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._recent_rmw: list[tuple[int, int]] = []  # (time, core)
+
+    def _rmw_cost(self, core: int) -> int:
+        now = self.engine.now
+        self._recent_rmw = [
+            (t, c) for (t, c) in self._recent_rmw if now - t <= self.retry_window_ns
+        ]
+        rivals = {c for (_, c) in self._recent_rmw if c != core}
+        self._recent_rmw.append((now, core))
+        base = self.state_line.rmw(core)
+        if rivals:
+            # one extra line round-trip per rival caught in the window
+            penalty = sum(self.machine.xfer(c, core) for c in rivals)
+            return base + penalty
+        return base
+
+    def enqueue(self, core: int, task: LTask) -> Generator[Instr, Any, None]:
+        yield Compute(self._rmw_cost(core))
+        if not self._tasks:
+            self._note_transition(core, prev_nonempty=False)
+        self._tasks.append(task)
+        task.state = TaskState.QUEUED
+        task.queue_name = self.name
+        self.stats.enqueues += 1
+        if len(self._tasks) > self.stats.max_len:
+            self.stats.max_len = len(self._tasks)
+
+    def get_task(self, core: int) -> Generator[Instr, Any, Optional[LTask]]:
+        nonempty = yield from self.peek_nonempty(core)
+        if not nonempty:
+            return None
+        yield Compute(self._rmw_cost(core))
+        task = self._pop_eligible(core)
+        if task is not None:
+            if not self._tasks:
+                self._note_transition(core, prev_nonempty=True)
+            self.stats.dequeues += 1
+            self.stats.dequeued_by[core] = self.stats.dequeued_by.get(core, 0) + 1
+            return task
+        if not self._tasks:
+            self.stats.lost_races += 1
+        return None

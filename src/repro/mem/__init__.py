@@ -1,0 +1,5 @@
+"""MESI-like cache-line cost model."""
+
+from repro.mem.cacheline import CacheLine, MemStats
+
+__all__ = ["CacheLine", "MemStats"]

@@ -1,0 +1,25 @@
+"""MPI-level interfaces: Mad-MPI and the baseline models."""
+
+from repro.mpi.madmpi import ANY_SOURCE, ANY_TAG, MadMPI, MadMPIComm
+from repro.mpi.baseline import BigLockMPI, BigLockComm, MVAPICHLike, OpenMPILike
+from repro.mpi import collectives
+
+#: the implementations compared in the paper's evaluation
+IMPLEMENTATIONS = {
+    "PIOMan": MadMPI,
+    "MVAPICH": MVAPICHLike,
+    "OpenMPI": OpenMPILike,
+}
+
+__all__ = [
+    "collectives",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MadMPI",
+    "MadMPIComm",
+    "BigLockMPI",
+    "BigLockComm",
+    "MVAPICHLike",
+    "OpenMPILike",
+    "IMPLEMENTATIONS",
+]

@@ -1,0 +1,229 @@
+"""Collective operations over the point-to-point layer.
+
+The paper's scope is point-to-point progression, but a communication
+library a downstream user would adopt needs collectives; these are the
+classic log-P algorithms expressed as generators over any communicator
+implementing the ``isend/irecv/wait`` interface (Mad-MPI or a baseline),
+so collective traffic also exercises PIOMan's progression paths.
+
+Algorithms:
+
+* **barrier** — dissemination (log2 N rounds);
+* **bcast** — binomial tree;
+* **reduce** — binomial tree toward the root (payloads combined with a
+  user ``op``);
+* **allreduce** — reduce + bcast;
+* **gather / scatter** — linear at the root (simple, predictable);
+* **alltoall** — posted irecvs + round-robin sends.
+
+Each call takes ``comms`` — one communicator per rank — plus this rank's
+id and returns per MPI semantics.  Tags are drawn from a reserved space
+so collectives never collide with application point-to-point traffic;
+callers may run several distinct collectives concurrently by passing
+different ``ctxtag``s.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Sequence
+
+#: base of the reserved collective tag space
+COLL_TAG_BASE = 1 << 20
+
+
+def _tag(ctxtag: int, phase: int) -> int:
+    return COLL_TAG_BASE + ctxtag * 64 + phase
+
+
+def barrier(
+    comm, core: int, rank: int, nranks: int, ctxtag: int = 0
+) -> Generator:
+    """Dissemination barrier: log2(N) rounds of pairwise notifications."""
+    if nranks == 1:
+        return
+    round_no = 0
+    dist = 1
+    while dist < nranks:
+        peer_to = (rank + dist) % nranks
+        peer_from = (rank - dist) % nranks
+        sreq = yield from comm.isend(core, peer_to, _tag(ctxtag, round_no), 4, payload=b"B")
+        rreq = yield from comm.irecv(core, peer_from, _tag(ctxtag, round_no))
+        yield from comm.wait(core, sreq)
+        yield from comm.wait(core, rreq)
+        dist *= 2
+        round_no += 1
+
+
+def bcast(
+    comm,
+    core: int,
+    rank: int,
+    nranks: int,
+    value: Any = None,
+    size: int = 64,
+    root: int = 0,
+    ctxtag: int = 1,
+) -> Generator:
+    """Binomial-tree broadcast; returns the value on every rank."""
+    if nranks == 1:
+        return value
+    vrank = (rank - root) % nranks
+    # receive from the parent (the rank that differs in our lowest set bit)
+    mask = 1
+    while mask < nranks:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % nranks
+            req = yield from comm.irecv(core, parent, _tag(ctxtag, 0))
+            yield from comm.wait(core, req)
+            value = req.payload
+            break
+        mask *= 2
+    # forward to children: vrank + m for each m below our received bit
+    mask //= 2
+    while mask > 0:
+        if vrank + mask < nranks:
+            dst = ((vrank + mask) + root) % nranks
+            req = yield from comm.isend(core, dst, _tag(ctxtag, 0), size, payload=value)
+            yield from comm.wait(core, req)
+        mask //= 2
+    return value
+
+
+def reduce(
+    comm,
+    core: int,
+    rank: int,
+    nranks: int,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    size: int = 64,
+    root: int = 0,
+    ctxtag: int = 2,
+) -> Generator:
+    """Binomial-tree reduction; returns the combined value on the root
+    (None elsewhere).  ``op`` must be associative and commutative."""
+    if nranks == 1:
+        return value
+    vrank = (rank - root) % nranks
+    acc = value
+    mask = 1
+    while mask < nranks:
+        if vrank & mask:
+            parent = ((vrank ^ mask) + root) % nranks
+            req = yield from comm.isend(core, parent, _tag(ctxtag, 0), size, payload=acc)
+            yield from comm.wait(core, req)
+            return None
+        child = vrank | mask
+        if child < nranks:
+            src = (child + root) % nranks
+            req = yield from comm.irecv(core, src, _tag(ctxtag, 0))
+            yield from comm.wait(core, req)
+            acc = op(acc, req.payload)
+        mask *= 2
+    return acc
+
+
+def allreduce(
+    comm,
+    core: int,
+    rank: int,
+    nranks: int,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    size: int = 64,
+    ctxtag: int = 3,
+) -> Generator:
+    """Reduce to rank 0 then broadcast the result to everyone."""
+    partial = yield from reduce(
+        comm, core, rank, nranks, value, op, size=size, root=0, ctxtag=ctxtag
+    )
+    result = yield from bcast(
+        comm, core, rank, nranks, partial, size=size, root=0, ctxtag=ctxtag + 8
+    )
+    return result
+
+
+def gather(
+    comm,
+    core: int,
+    rank: int,
+    nranks: int,
+    value: Any,
+    size: int = 64,
+    root: int = 0,
+    ctxtag: int = 4,
+) -> Generator:
+    """Linear gather; the root returns the list ordered by rank."""
+    if rank == root:
+        out: list[Any] = [None] * nranks
+        out[root] = value
+        for src in range(nranks):
+            if src == root:
+                continue
+            req = yield from comm.irecv(core, src, _tag(ctxtag, src))
+            yield from comm.wait(core, req)
+            out[src] = req.payload
+        return out
+    req = yield from comm.isend(core, root, _tag(ctxtag, rank), size, payload=value)
+    yield from comm.wait(core, req)
+    return None
+
+
+def scatter(
+    comm,
+    core: int,
+    rank: int,
+    nranks: int,
+    values: Optional[Sequence[Any]] = None,
+    size: int = 64,
+    root: int = 0,
+    ctxtag: int = 5,
+) -> Generator:
+    """Linear scatter; every rank returns its slot of the root's list."""
+    if rank == root:
+        assert values is not None and len(values) == nranks
+        reqs = []
+        for dst in range(nranks):
+            if dst == root:
+                continue
+            r = yield from comm.isend(core, dst, _tag(ctxtag, dst), size, payload=values[dst])
+            reqs.append(r)
+        for r in reqs:
+            yield from comm.wait(core, r)
+        return values[root]
+    req = yield from comm.irecv(core, root, _tag(ctxtag, rank))
+    yield from comm.wait(core, req)
+    return req.payload
+
+
+def alltoall(
+    comm,
+    core: int,
+    rank: int,
+    nranks: int,
+    values: Sequence[Any],
+    size: int = 64,
+    ctxtag: int = 6,
+) -> Generator:
+    """Each rank sends ``values[dst]`` to every dst; returns the received
+    list indexed by source (own slot passed through)."""
+    assert len(values) == nranks
+    out: list[Any] = [None] * nranks
+    out[rank] = values[rank]
+    rreqs = {}
+    for src in range(nranks):
+        if src == rank:
+            continue
+        rreqs[src] = yield from comm.irecv(core, src, _tag(ctxtag, rank))
+    sreqs = []
+    # rotate destinations so everyone does not hammer rank 0 first
+    for k in range(1, nranks):
+        dst = (rank + k) % nranks
+        r = yield from comm.isend(core, dst, _tag(ctxtag, dst), size, payload=values[dst])
+        sreqs.append(r)
+    for src, req in rreqs.items():
+        yield from comm.wait(core, req)
+        out[src] = req.payload
+    for r in sreqs:
+        yield from comm.wait(core, r)
+    return out

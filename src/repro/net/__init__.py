@@ -1,0 +1,27 @@
+"""Network simulation substrate: drivers, NICs, fabric, frames."""
+
+from repro.net.driver import (
+    DRIVERS,
+    DriverSpec,
+    IB_CONNECTX,
+    MYRI10G_MX,
+    QSNET_ELAN,
+    TCP_ETH,
+)
+from repro.net.fabric import Fabric
+from repro.net.frame import Completion, Frame
+from repro.net.nic import Nic, NicStats
+
+__all__ = [
+    "DriverSpec",
+    "DRIVERS",
+    "IB_CONNECTX",
+    "MYRI10G_MX",
+    "QSNET_ELAN",
+    "TCP_ETH",
+    "Fabric",
+    "Frame",
+    "Completion",
+    "Nic",
+    "NicStats",
+]

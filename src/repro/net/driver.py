@@ -1,0 +1,81 @@
+"""NIC driver models.
+
+A :class:`DriverSpec` captures what distinguishes the paper's networks at
+the level the evaluation depends on: small-message latency, bandwidth,
+whether the hardware can serve **RDMA reads** without remote CPU help
+(the mechanism behind the baselines' sender-side-only overlap, paper
+§II-B/§V-C), and the CPU costs of posting and polling.
+
+Presets cover the four networks NewMadeleine ships drivers for
+(MX/Myrinet, Verbs/InfiniBand, Elan/QsNet, TCP/Ethernet — paper §IV-B).
+The evaluation (§V) uses ConnectX InfiniBand on the BORDERLINE cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DriverSpec:
+    """Latency/bandwidth/capability model of one NIC + driver stack."""
+
+    name: str
+    #: one-way wire+stack latency for a minimal frame (ns)
+    latency_ns: int
+    #: sustained bandwidth in bytes per microsecond (1 GB/s ~ 1074 B/us)
+    bytes_per_us: int
+    #: can a remote initiator pull memory without local CPU involvement?
+    rdma: bool
+    #: CPU cost to post a descriptor to the NIC (ns)
+    post_cost_ns: int = 200
+    #: CPU cost of one completion-queue poll (ns)
+    poll_cost_ns: int = 80
+    #: relative jitter applied to wire latency (deterministic rng)
+    jitter: float = 0.03
+    #: per-frame wire overhead in bytes (headers)
+    frame_overhead_bytes: int = 64
+
+    def wire_ns(self, size_bytes: int) -> int:
+        """Serialization + propagation time for a frame of ``size_bytes``."""
+        payload = size_bytes + self.frame_overhead_bytes
+        return self.latency_ns + (payload * 1_000) // self.bytes_per_us
+
+
+#: ConnectX InfiniBand (MT25408, OFED 1.2) — the paper's evaluation NIC.
+IB_CONNECTX = DriverSpec(
+    name="ibverbs",
+    latency_ns=1_500,
+    bytes_per_us=1_500,  # ~1.5 GB/s DDR IB payload rate
+    rdma=True,
+)
+
+#: Myri-10G with MX 1.2.7 — the second NIC in the BORDERLINE boxes.
+MYRI10G_MX = DriverSpec(
+    name="mx",
+    latency_ns=2_300,
+    bytes_per_us=1_200,
+    rdma=False,
+)
+
+#: Quadrics QsNet (Elan) — high-end, very low latency.
+QSNET_ELAN = DriverSpec(
+    name="elan",
+    latency_ns=1_300,
+    bytes_per_us=900,
+    rdma=True,
+)
+
+#: Plain TCP over gigabit Ethernet — the slow portable fallback.
+TCP_ETH = DriverSpec(
+    name="tcp",
+    latency_ns=25_000,
+    bytes_per_us=110,
+    rdma=False,
+    post_cost_ns=800,
+    poll_cost_ns=300,
+)
+
+DRIVERS = {
+    d.name: d for d in (IB_CONNECTX, MYRI10G_MX, QSNET_ELAN, TCP_ETH)
+}

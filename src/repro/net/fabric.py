@@ -1,0 +1,60 @@
+"""The cluster fabric: point-to-point delivery between NICs.
+
+One :class:`Fabric` per simulated cluster.  NICs register by (node id,
+driver name, index); frames route to the *same driver rail* on the target
+node — multirail setups (one MX + one IB NIC per node, as on BORDERLINE)
+are therefore just multiple registrations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.driver import DriverSpec
+from repro.net.frame import Frame
+from repro.net.nic import Nic
+from repro.sim.rng import Rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+
+class Fabric:
+    """Connects the NICs of a cluster and schedules wire deliveries."""
+
+    def __init__(self, engine: "Engine", rng: Optional[Rng] = None) -> None:
+        self.engine = engine
+        self.rng = rng if rng is not None else Rng(7)
+        #: (node_id, driver_name, index) -> Nic
+        self._nics: dict[tuple[int, str, int], Nic] = {}
+
+    def new_nic(self, node_id: int, driver: DriverSpec, index: int = 0) -> Nic:
+        key = (node_id, driver.name, index)
+        if key in self._nics:
+            raise ValueError(f"duplicate NIC {key}")
+        nic = Nic(self, node_id, driver, index)
+        self._nics[key] = nic
+        return nic
+
+    def nic_of(self, node_id: int, driver_name: str, index: int = 0) -> Nic:
+        return self._nics[(node_id, driver_name, index)]
+
+    def peer_nic(self, nic: Nic, dst_node: int) -> Nic:
+        """The same rail on the destination node."""
+        return self._nics[(dst_node, nic.driver.name, nic.index)]
+
+    def wire_ns(self, src_nic: Nic, frame: Frame) -> int:
+        """Latency + serialization for a frame leaving ``src_nic``."""
+        base = src_nic.driver.wire_ns(frame.size_bytes)
+        return self.rng.jitter_ns(base, src_nic.driver.jitter)
+
+    def deliver(self, src_nic: Nic, frame: Frame, arrive_at: int) -> None:
+        """Schedule arrival of ``frame`` at the matching rail of its
+        destination node."""
+        dst = self.peer_nic(src_nic, frame.dst_node)
+        if dst is src_nic:
+            raise ValueError("frame addressed to its own NIC")
+        self.engine.schedule_at(arrive_at, dst._deliver, frame)
+
+    def nics(self) -> list[Nic]:
+        return list(self._nics.values())

@@ -1,0 +1,48 @@
+"""Wire frames and completion records."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_frame_seq = itertools.count()
+
+
+@dataclass
+class Frame:
+    """One frame on the wire.
+
+    The payload is opaque to the NIC; protocol layers put their message
+    structures (eager data, RTS/CTS, FIN, aggregated packs) in ``meta``.
+    ``size_bytes`` alone determines wire timing.
+    """
+
+    kind: str
+    src_node: int
+    dst_node: int
+    size_bytes: int
+    meta: dict = field(default_factory=dict)
+    seq: int = field(default_factory=lambda: next(_frame_seq))
+    #: filled by the fabric on delivery
+    sent_at: Optional[int] = None
+    delivered_at: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Frame #{self.seq} {self.kind} {self.src_node}->{self.dst_node} "
+            f"{self.size_bytes}B>"
+        )
+
+
+@dataclass
+class Completion:
+    """One completion-queue entry."""
+
+    kind: str  # "recv" | "send_done" | "rdma_done" | "rdma_served"
+    frame: Optional[Frame] = None
+    meta: Any = None
+    time: int = 0
+
+    def __repr__(self) -> str:
+        return f"<Completion {self.kind} t={self.time} {self.frame!r}>"

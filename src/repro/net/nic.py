@@ -1,0 +1,170 @@
+"""Simulated NIC.
+
+Models the properties the paper's evaluation rests on:
+
+* **DMA decouples the CPU**: once a descriptor is posted, the wire
+  transfer proceeds on virtual time without occupying any core — this is
+  what makes communication/computation overlap *possible*; whether it
+  *happens* depends on who polls when (the whole point of Figs. 5-7).
+* **TX serialization**: one frame at a time per NIC; queued descriptors
+  drain in order at the link bandwidth (the arbitration/saturation issue
+  motivating the collect layer, Fig. 1).
+* **RDMA read**: a remote initiator pulls local memory with no local CPU
+  involvement (capability flag on the driver), used by the MVAPICH-like
+  and OpenMPI-like rendezvous.
+* **Completion queue**: arrivals and completions land in a CQ that costs
+  CPU to poll; a registered listener is notified host-side on each CQ
+  write so it can ring scheduler doorbells (the modeled coherence/event
+  path a polling core observes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.net.driver import DriverSpec
+from repro.net.frame import Completion, Frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.fabric import Fabric
+
+
+class NicStats:
+    __slots__ = (
+        "frames_sent",
+        "frames_recv",
+        "bytes_sent",
+        "bytes_recv",
+        "rdma_reads_served",
+        "rdma_reads_issued",
+        "polls",
+        "empty_polls",
+        "tx_busy_ns",
+    )
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.frames_recv = 0
+        self.bytes_sent = 0
+        self.bytes_recv = 0
+        self.rdma_reads_served = 0
+        self.rdma_reads_issued = 0
+        self.polls = 0
+        self.empty_polls = 0
+        self.tx_busy_ns = 0
+
+
+class Nic:
+    """One network interface on one node."""
+
+    def __init__(self, fabric: "Fabric", node_id: int, driver: DriverSpec, index: int = 0) -> None:
+        self.fabric = fabric
+        self.node_id = node_id
+        self.driver = driver
+        self.index = index
+        self.name = f"{driver.name}@node{node_id}.{index}"
+        self._cq: deque[Completion] = deque()
+        #: next time the TX engine is free (bandwidth serialization)
+        self._tx_free = 0
+        self.stats = NicStats()
+        #: host-side callback fired on every CQ write (nmad rings doorbells)
+        self.on_cq_write: Optional[Callable[["Nic", Completion], None]] = None
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+    def post_send(self, frame: Frame, signal_done: bool = False) -> int:
+        """Queue a frame for transmission; returns expected delivery time.
+
+        Pure descriptor handoff — the caller charges the CPU cost
+        (``driver.post_cost_ns``) through its own task/thread accounting.
+        If ``signal_done`` a ``send_done`` completion lands in this NIC's
+        CQ when the frame leaves the wire.
+        """
+        eng = self.fabric.engine
+        start = max(eng.now, self._tx_free)
+        wire = self.fabric.wire_ns(self, frame)
+        depart = start + (frame.size_bytes + self.driver.frame_overhead_bytes) * 1_000 // self.driver.bytes_per_us
+        depart = max(depart, start)  # serialization component
+        arrive = start + wire
+        self.stats.tx_busy_ns += depart - start
+        self._tx_free = depart
+        frame.sent_at = eng.now
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += frame.size_bytes
+        self.fabric.deliver(self, frame, arrive)
+        if signal_done:
+            eng.schedule_at(depart, self._complete, Completion(kind="send_done", frame=frame))
+        return arrive
+
+    def tx_idle(self) -> bool:
+        """Is the transmit engine idle right now? (strategy trigger)"""
+        return self._tx_free <= self.fabric.engine.now
+
+    # ------------------------------------------------------------------
+    # RDMA
+    # ------------------------------------------------------------------
+    def rdma_read(self, peer: "Nic", size_bytes: int, meta: Any = None) -> None:
+        """Pull ``size_bytes`` from the peer's memory.
+
+        No CPU is consumed on either side; after request latency + data
+        streaming, an ``rdma_done`` completion lands in *this* CQ and an
+        ``rdma_served`` record in the peer's CQ (real HCAs do not signal
+        the target; protocol layers that need a sender-side completion
+        send an explicit FIN — the served record is for accounting and is
+        ignored by the MPI models).
+        """
+        if not self.driver.rdma or not peer.driver.rdma:
+            raise RuntimeError(f"driver {self.driver.name} does not support RDMA read")
+        eng = self.fabric.engine
+        req_arrive = eng.now + self.driver.latency_ns
+        start = max(req_arrive, peer._tx_free)
+        data_wire = self.fabric.wire_ns(peer, Frame("rdma_data", peer.node_id, self.node_id, size_bytes))
+        depart = start + (size_bytes + peer.driver.frame_overhead_bytes) * 1_000 // peer.driver.bytes_per_us
+        peer._tx_free = depart
+        peer.stats.rdma_reads_served += 1
+        peer.stats.bytes_sent += size_bytes
+        self.stats.rdma_reads_issued += 1
+        done = start + data_wire
+        eng.schedule_at(done, self._complete, Completion(kind="rdma_done", meta=meta))
+        eng.schedule_at(depart, peer._complete, Completion(kind="rdma_served", meta=meta))
+
+    # ------------------------------------------------------------------
+    # receive / completion path
+    # ------------------------------------------------------------------
+    def _deliver(self, frame: Frame) -> None:
+        """Called by the fabric when a frame arrives."""
+        frame.delivered_at = self.fabric.engine.now
+        self.stats.frames_recv += 1
+        self.stats.bytes_recv += frame.size_bytes
+        self._complete(Completion(kind="recv", frame=frame))
+
+    def _complete(self, comp: Completion) -> None:
+        comp.time = self.fabric.engine.now
+        self._cq.append(comp)
+        if self.on_cq_write is not None:
+            self.on_cq_write(self, comp)
+
+    def poll(self, max_entries: Optional[int] = None) -> list[Completion]:
+        """Drain (up to ``max_entries`` of) the completion queue.
+
+        Host-instant; the caller charges ``driver.poll_cost_ns`` (plus
+        per-entry handling) through its task cost accounting.
+        """
+        self.stats.polls += 1
+        if not self._cq:
+            self.stats.empty_polls += 1
+            return []
+        if max_entries is None:
+            out = list(self._cq)
+            self._cq.clear()
+            return out
+        out = [self._cq.popleft() for _ in range(min(max_entries, len(self._cq)))]
+        return out
+
+    def cq_depth(self) -> int:
+        return len(self._cq)
+
+    def __repr__(self) -> str:
+        return f"<Nic {self.name} cq={len(self._cq)}>"

@@ -1,0 +1,48 @@
+"""NewMadeleine: the communication engine built on PIOMan."""
+
+from repro.nmad.filters import FILTERS, LZO_FAST, ZLIB, DataFilter
+from repro.nmad.gate import Gate, GateStats
+from repro.nmad.library import NMad, NMadStats
+from repro.nmad.requests import (
+    ANY,
+    PacketWrapper,
+    PwKind,
+    RecvRequest,
+    ReqState,
+    SendRequest,
+)
+from repro.nmad.strategies import (
+    STRATEGIES,
+    StratAggreg,
+    StratAggregSplit,
+    StratDefault,
+    StratLatencyAware,
+    StratReorder,
+    StratSplit,
+    Strategy,
+)
+
+__all__ = [
+    "NMad",
+    "DataFilter",
+    "LZO_FAST",
+    "ZLIB",
+    "FILTERS",
+    "NMadStats",
+    "Gate",
+    "GateStats",
+    "ANY",
+    "PacketWrapper",
+    "PwKind",
+    "SendRequest",
+    "RecvRequest",
+    "ReqState",
+    "Strategy",
+    "StratDefault",
+    "StratAggreg",
+    "StratLatencyAware",
+    "StratReorder",
+    "StratSplit",
+    "StratAggregSplit",
+    "STRATEGIES",
+]

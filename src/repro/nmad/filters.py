@@ -1,0 +1,67 @@
+"""Data filters for slow networks — paper §IV-B's closing idea.
+
+"Idle cores could also be used to exploit efficiently slow networks or
+grid configurations: tasks could be created to apply data filters such
+as data compression, encryption or encoding/decoding."
+
+A :class:`DataFilter` trades CPU time (spent by an idle core, as a
+PIOMan task) for bytes on the wire.  NewMadeleine applies it to large
+bodies headed for rails slower than ``min_rail_bytes_per_us``; the
+receiving side pays the decode cost before delivery.  On a fast rail the
+filter never engages — burning a core to halve a message that the wire
+moves in microseconds is a loss, which is why the paper scopes the idea
+to "slow networks or grid configurations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DataFilter:
+    """One transformation: size ratio vs CPU cost."""
+
+    name: str
+    #: output bytes per input byte (0 < ratio <= 1 for compression)
+    ratio: float
+    #: encode CPU cost per input KiB (ns)
+    encode_ns_per_kb: int
+    #: decode CPU cost per *output* KiB (ns)
+    decode_ns_per_kb: int
+    #: bodies smaller than this are never worth filtering
+    min_bytes: int = 64 * 1024
+    #: rails at least this fast ship raw data (B/us)
+    min_rail_bytes_per_us: int = 500
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {self.ratio}")
+
+    def applies(self, size_bytes: int, rail_bytes_per_us: int) -> bool:
+        return (
+            size_bytes >= self.min_bytes
+            and rail_bytes_per_us < self.min_rail_bytes_per_us
+        )
+
+    def encoded_size(self, size_bytes: int) -> int:
+        return max(1, int(size_bytes * self.ratio))
+
+    def encode_cost_ns(self, size_bytes: int) -> int:
+        return size_bytes * self.encode_ns_per_kb // 1024
+
+    def decode_cost_ns(self, encoded_bytes: int) -> int:
+        return encoded_bytes * self.decode_ns_per_kb // 1024
+
+
+#: LZO-class fast compressor: halves typical payloads at ~0.35 ns/B
+LZO_FAST = DataFilter(
+    name="lzo-fast", ratio=0.5, encode_ns_per_kb=360, decode_ns_per_kb=180
+)
+
+#: zlib-class compressor: better ratio, ~3x the CPU
+ZLIB = DataFilter(
+    name="zlib", ratio=0.35, encode_ns_per_kb=1_100, decode_ns_per_kb=420
+)
+
+FILTERS = {f.name: f for f in (LZO_FAST, ZLIB)}

@@ -1,0 +1,181 @@
+"""Send/receive requests and the packet wrapper.
+
+The :class:`PacketWrapper` mirrors NewMadeleine's ``nm_pkt_wrap``: the unit
+the optimization layer schedules onto NICs.  Crucially it *embeds* its
+:class:`~repro.core.task.LTask` (paper §IV-B: "the task structure does not
+require an allocation since it is included in the packet wrapper") — the
+task is constructed once with the wrapper and reset/reused on resubmission.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.task import LTask, TaskOption
+from repro.topology.cpuset import CpuSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.threads.flag import Flag
+
+#: wildcard for peer/tag matching
+ANY = -1
+
+
+class ReqState(enum.Enum):
+    PENDING = "pending"
+    RTS_SENT = "rts_sent"
+    CTS_SENT = "cts_sent"
+    DATA_INFLIGHT = "data_inflight"
+    COMPLETE = "complete"
+
+
+_req_seq = itertools.count()
+
+
+class SendRequest:
+    """One outgoing message."""
+
+    __slots__ = (
+        "peer",
+        "tag",
+        "size",
+        "payload",
+        "seq",
+        "flag",
+        "state",
+        "protocol",
+        "t_post",
+        "t_complete",
+        "rail_chunks",
+    )
+
+    def __init__(self, peer: int, tag: int, size: int, payload: Any = None) -> None:
+        if peer < 0:
+            raise ValueError("send needs an explicit peer")
+        if tag < 0:
+            raise ValueError("send needs a non-wildcard tag")
+        self.peer = peer
+        self.tag = tag
+        self.size = size
+        self.payload = payload
+        self.seq = next(_req_seq)
+        self.flag: Optional["Flag"] = None
+        self.state = ReqState.PENDING
+        self.protocol = ""  # "eager" | "rdv"
+        self.t_post: Optional[int] = None
+        self.t_complete: Optional[int] = None
+        #: multirail bookkeeping: chunks not yet acknowledged
+        self.rail_chunks = 0
+
+    @property
+    def done(self) -> bool:
+        return self.state is ReqState.COMPLETE
+
+    def __repr__(self) -> str:
+        return f"<SendReq #{self.seq} ->{self.peer} tag={self.tag} {self.size}B {self.state.value}>"
+
+
+class RecvRequest:
+    """One posted receive (peer/tag may be wildcards)."""
+
+    __slots__ = (
+        "peer",
+        "tag",
+        "seq",
+        "flag",
+        "state",
+        "t_post",
+        "t_complete",
+        "src",
+        "recv_tag",
+        "size",
+        "payload",
+        "chunks_expected",
+        "chunks_seen",
+        "bytes_seen",
+    )
+
+    def __init__(self, peer: int = ANY, tag: int = ANY) -> None:
+        self.peer = peer
+        self.tag = tag
+        self.seq = next(_req_seq)
+        self.flag: Optional["Flag"] = None
+        self.state = ReqState.PENDING
+        self.t_post: Optional[int] = None
+        self.t_complete: Optional[int] = None
+        #: filled at completion
+        self.src: Optional[int] = None
+        self.recv_tag: Optional[int] = None
+        self.size = 0
+        self.payload: Any = None
+        #: multirail reassembly
+        self.chunks_expected = 0
+        self.chunks_seen = 0
+        self.bytes_seen = 0
+
+    @property
+    def done(self) -> bool:
+        return self.state is ReqState.COMPLETE
+
+    def matches(self, src: int, tag: int) -> bool:
+        return (self.peer in (ANY, src)) and (self.tag in (ANY, tag))
+
+    def __repr__(self) -> str:
+        peer = "*" if self.peer == ANY else self.peer
+        tag = "*" if self.tag == ANY else self.tag
+        return f"<RecvReq #{self.seq} <-{peer} tag={tag} {self.state.value}>"
+
+
+class PwKind(enum.Enum):
+    EAGER = "eager"
+    RTS = "rts"
+    CTS = "cts"
+    DATA = "data"
+    FIN = "fin"
+
+
+class PacketWrapper:
+    """The schedulable unit handed to the strategy/NIC layer.
+
+    The embedded task is built once; resubmissions call :meth:`arm` which
+    resets and retargets it (no allocation on the hot path).
+    """
+
+    __slots__ = ("kind", "dst_node", "size", "meta", "ltask", "rail", "request")
+
+    def __init__(
+        self,
+        kind: PwKind,
+        dst_node: int,
+        size: int,
+        meta: Optional[dict] = None,
+        request: Any = None,
+    ) -> None:
+        self.kind = kind
+        self.dst_node = dst_node
+        self.size = size
+        self.meta = meta if meta is not None else {}
+        self.request = request
+        self.rail: Optional[int] = None
+        #: embedded ltask (func/cpuset filled by arm)
+        self.ltask = LTask(
+            None,
+            arg=self,
+            cpuset=CpuSet.single(0),
+            options=TaskOption.NONE,
+            name=f"pw:{kind.value}->{dst_node}",
+            owner=self,
+        )
+
+    def arm(self, func, cpuset: CpuSet, cost_ns: int) -> LTask:
+        """Reset and retarget the embedded task for (re)submission."""
+        self.ltask.reset()
+        self.ltask.func = func
+        self.ltask.cpuset = cpuset
+        self.ltask.cost_ns = cost_ns
+        return self.ltask
+
+    def __repr__(self) -> str:
+        return f"<pw {self.kind.value} ->{self.dst_node} {self.size}B rail={self.rail}>"

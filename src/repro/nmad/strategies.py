@@ -1,0 +1,256 @@
+"""Optimization strategies — the optimization layer of paper Fig. 1.
+
+A strategy decides, each time a rail becomes available, which packet
+wrappers leave a gate's outbox and how: one-by-one FIFO
+(:class:`StratDefault`), packed into aggregates (:class:`StratAggreg`,
+"messages can be grouped into pools of packets that have to be sent to
+the same destination"), or split across rails for large bodies
+(:class:`StratSplit`, multirail distribution [5]).
+:class:`StratAggregSplit` composes both and is NewMadeleine's default
+behaviour in this reproduction.
+
+``pack`` returns a list of ``(rail_index, frame_meta, size, pw_list)``
+descriptors; the library turns them into frames.  Strategies never touch
+NICs directly, so they are unit-testable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.nmad.requests import PacketWrapper, PwKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nmad.gate import Gate
+
+#: descriptor: (rail_index, kind, size_bytes, wrappers)
+PackOut = tuple[int, str, int, list[PacketWrapper]]
+
+
+class Strategy:
+    """Base class: FIFO, first idle rail."""
+
+    name = "base"
+
+    def pack(self, gate: "Gate") -> list[PackOut]:
+        raise NotImplementedError
+
+
+class StratDefault(Strategy):
+    """One wrapper per frame, first idle rail, strict FIFO."""
+
+    name = "default"
+
+    def pack(self, gate: "Gate") -> list[PackOut]:
+        out: list[PackOut] = []
+        idle = [i for i, nic in enumerate(gate.rails) if nic.tx_idle()]
+        while gate.outbox and idle:
+            rail = idle.pop(0)
+            pw = gate.outbox.popleft()
+            out.append((rail, pw.kind.value, pw.size, [pw]))
+        return out
+
+
+class StratAggreg(Strategy):
+    """Aggregate small same-destination wrappers into one frame.
+
+    Control messages (RTS/CTS/FIN) and eager bodies under
+    ``max_small_bytes`` are packed together up to ``max_aggr_bytes`` or
+    ``max_aggr_count``; anything bigger goes out alone.
+    """
+
+    name = "aggreg"
+
+    def __init__(
+        self,
+        max_aggr_bytes: int = 8 * 1024,
+        max_aggr_count: int = 16,
+        max_small_bytes: int = 4 * 1024,
+    ) -> None:
+        self.max_aggr_bytes = max_aggr_bytes
+        self.max_aggr_count = max_aggr_count
+        self.max_small_bytes = max_small_bytes
+
+    def _aggregatable(self, pw: PacketWrapper) -> bool:
+        if pw.kind in (PwKind.RTS, PwKind.CTS, PwKind.FIN):
+            return True
+        return pw.kind is PwKind.EAGER and pw.size <= self.max_small_bytes
+
+    def pack(self, gate: "Gate") -> list[PackOut]:
+        out: list[PackOut] = []
+        idle = [i for i, nic in enumerate(gate.rails) if nic.tx_idle()]
+        while gate.outbox and idle:
+            rail = idle.pop(0)
+            head = gate.outbox.popleft()
+            if not self._aggregatable(head):
+                out.append((rail, head.kind.value, head.size, [head]))
+                continue
+            batch = [head]
+            total = head.size
+            while (
+                gate.outbox
+                and len(batch) < self.max_aggr_count
+                and self._aggregatable(gate.outbox[0])
+                and total + gate.outbox[0].size <= self.max_aggr_bytes
+            ):
+                pw = gate.outbox.popleft()
+                batch.append(pw)
+                total += pw.size
+            if len(batch) > 1:
+                gate.stats.aggregated_pw += len(batch)
+                out.append((rail, "pack", total, batch))
+            else:
+                out.append((rail, head.kind.value, head.size, batch))
+        return out
+
+
+class StratSplit(Strategy):
+    """Split large DATA bodies across every rail, proportional to rail
+    bandwidth (multirail distribution)."""
+
+    name = "split"
+
+    def __init__(self, min_split_bytes: int = 64 * 1024) -> None:
+        self.min_split_bytes = min_split_bytes
+
+    def pack(self, gate: "Gate") -> list[PackOut]:
+        out: list[PackOut] = []
+        if not gate.outbox:
+            return out
+        nrails = len(gate.rails)
+        head = gate.outbox[0]
+        if (
+            head.kind is PwKind.DATA
+            and head.size >= self.min_split_bytes
+            and nrails > 1
+            and all(nic.tx_idle() for nic in gate.rails)
+        ):
+            gate.outbox.popleft()
+            total_bw = sum(nic.driver.bytes_per_us for nic in gate.rails)
+            remaining = head.size
+            for i, nic in enumerate(gate.rails):
+                if i == nrails - 1:
+                    chunk = remaining
+                else:
+                    chunk = head.size * nic.driver.bytes_per_us // total_bw
+                    chunk = min(chunk, remaining)
+                if chunk <= 0:
+                    continue
+                remaining -= chunk
+                gate.stats.split_chunks += 1
+                out.append((i, "data", chunk, [head]))
+            return out
+        # fall back to FIFO on the idle rails
+        idle = [i for i, nic in enumerate(gate.rails) if nic.tx_idle()]
+        while gate.outbox and idle:
+            rail = idle.pop(0)
+            pw = gate.outbox.popleft()
+            out.append((rail, pw.kind.value, pw.size, [pw]))
+        return out
+
+
+class StratReorder(Strategy):
+    """Reorder the outbox before packing (paper Fig. 1: packets "2 1"
+    leave the wire as "1 2"; §II-A lists *messages reordering* among the
+    cross-flow optimizations).
+
+    Control messages (RTS/CTS/FIN) overtake data bodies: a rendezvous
+    handshake stuck behind a fat eager body would add a full frame
+    serialization delay to another flow's latency.  The sort is *stable*
+    and keyed only on control-vs-data, so messages of one application
+    flow never overtake each other — anything finer (e.g.
+    shortest-job-first on bodies) would break the MPI non-overtaking rule
+    for same-tag messages of different sizes.
+    """
+
+    name = "reorder"
+
+    def __init__(self, inner: Strategy | None = None) -> None:
+        self._inner = inner if inner is not None else StratDefault()
+
+    @staticmethod
+    def _key(pw: PacketWrapper) -> int:
+        return 0 if pw.kind in (PwKind.RTS, PwKind.CTS, PwKind.FIN) else 1
+
+    def pack(self, gate: "Gate") -> list[PackOut]:
+        if len(gate.outbox) > 1:
+            ordered = sorted(gate.outbox, key=self._key)  # stable
+            if list(gate.outbox) != ordered:
+                gate.stats.reordered += 1
+                gate.outbox.clear()
+                gate.outbox.extend(ordered)
+        return self._inner.pack(gate)
+
+
+class StratLatencyAware(Strategy):
+    """Route by message class: small/control wrappers take the
+    lowest-*latency* idle rail, bodies take the highest-*bandwidth* one.
+
+    This is NewMadeleine's actual multirail sampling policy in spirit: on
+    a BORDERLINE node the Myri-10G and ConnectX rails have different
+    latency/bandwidth trade-offs, and a 4-byte ping should never queue
+    behind the rail chosen for a 1 MB body.
+    """
+
+    name = "latency_aware"
+
+    def __init__(self, small_bytes: int = 4 * 1024) -> None:
+        self.small_bytes = small_bytes
+
+    def _is_small(self, pw: PacketWrapper) -> bool:
+        if pw.kind in (PwKind.RTS, PwKind.CTS, PwKind.FIN):
+            return True
+        return pw.size <= self.small_bytes
+
+    def pack(self, gate: "Gate") -> list[PackOut]:
+        out: list[PackOut] = []
+        idle = {i for i, nic in enumerate(gate.rails) if nic.tx_idle()}
+        while gate.outbox and idle:
+            pw = gate.outbox[0]
+            if self._is_small(pw):
+                rail = min(idle, key=lambda i: gate.rails[i].driver.latency_ns)
+            else:
+                rail = max(idle, key=lambda i: gate.rails[i].driver.bytes_per_us)
+            idle.remove(rail)
+            gate.outbox.popleft()
+            out.append((rail, pw.kind.value, pw.size, [pw]))
+        return out
+
+
+class StratAggregSplit(Strategy):
+    """Compose aggregation (small) and multirail splitting (large)."""
+
+    name = "aggreg_split"
+
+    def __init__(
+        self,
+        max_aggr_bytes: int = 8 * 1024,
+        max_aggr_count: int = 16,
+        min_split_bytes: int = 64 * 1024,
+    ) -> None:
+        self._aggreg = StratAggreg(max_aggr_bytes, max_aggr_count)
+        self._split = StratSplit(min_split_bytes)
+
+    def pack(self, gate: "Gate") -> list[PackOut]:
+        head = gate.outbox[0] if gate.outbox else None
+        if (
+            head is not None
+            and head.kind is PwKind.DATA
+            and head.size >= self._split.min_split_bytes
+            and len(gate.rails) > 1
+        ):
+            return self._split.pack(gate)
+        return self._aggreg.pack(gate)
+
+
+STRATEGIES = {
+    s.name: s
+    for s in (
+        StratDefault(),
+        StratAggreg(),
+        StratSplit(),
+        StratReorder(),
+        StratLatencyAware(),
+        StratAggregSplit(),
+    )
+}

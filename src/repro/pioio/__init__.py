@@ -1,0 +1,24 @@
+"""PIO-I/O: asynchronous storage I/O over PIOMan (paper §VI future work)."""
+
+from repro.pioio.device import (
+    BlockDevice,
+    DeviceSpec,
+    IoOp,
+    NVRAM,
+    RAMDISK,
+    SATA_DISK,
+    SSD,
+)
+from repro.pioio.manager import IoRequest, PIOIo
+
+__all__ = [
+    "BlockDevice",
+    "DeviceSpec",
+    "IoOp",
+    "SATA_DISK",
+    "SSD",
+    "RAMDISK",
+    "NVRAM",
+    "IoRequest",
+    "PIOIo",
+]

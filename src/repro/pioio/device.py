@@ -1,0 +1,120 @@
+"""Simulated block device.
+
+A queued storage device with a service model: requests wait in a device
+queue (bounded queue depth in flight), each costing a fixed per-op
+latency plus size/bandwidth.  Completions land in a completion queue the
+host must *poll* — the same shape as a NIC, which is exactly why the
+paper's task manager generalizes to I/O (§VI).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine
+
+_op_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Service model of one device."""
+
+    name: str
+    #: fixed per-operation latency (seek/flash overhead), ns
+    op_latency_ns: int
+    #: sustained throughput in bytes per microsecond
+    bytes_per_us: int
+    #: operations serviced concurrently (NCQ depth)
+    queue_depth: int = 4
+
+
+#: a 2009-era SATA disk: ~8 ms seek, ~90 MB/s
+SATA_DISK = DeviceSpec(name="sata", op_latency_ns=8_000_000, bytes_per_us=94, queue_depth=4)
+#: an early SSD: ~80 us, ~250 MB/s
+SSD = DeviceSpec(name="ssd", op_latency_ns=80_000, bytes_per_us=260, queue_depth=8)
+#: a ramdisk-like device for fast tests
+RAMDISK = DeviceSpec(name="ram", op_latency_ns=2_000, bytes_per_us=6_000, queue_depth=16)
+#: a battery-backed NVRAM log device (fast, network-comparable bandwidth)
+NVRAM = DeviceSpec(name="nvram", op_latency_ns=20_000, bytes_per_us=1_400, queue_depth=8)
+
+
+@dataclass
+class IoOp:
+    """One submitted operation."""
+
+    op_id: int
+    kind: str  # "read" | "write"
+    offset: int
+    size: int
+    submit_ns: int
+    complete_ns: Optional[int] = None
+
+
+class BlockDevice:
+    """Queued device with a pollable completion queue."""
+
+    def __init__(self, engine: Engine, spec: DeviceSpec = SSD, name: str = "") -> None:
+        self.engine = engine
+        self.spec = spec
+        self.name = name or spec.name
+        self._waiting: deque[IoOp] = deque()
+        self._inflight = 0
+        #: when the transfer channel frees up (bandwidth is shared across
+        #: in-flight ops; queue depth overlaps only the per-op latency)
+        self._bw_free = 0
+        self._cq: deque[IoOp] = deque()
+        #: host-side hook fired on each CQ write (rings doorbells)
+        self.on_cq_write: Optional[Callable[["BlockDevice", IoOp], None]] = None
+        self.ops_submitted = 0
+        self.ops_completed = 0
+        self.bytes_moved = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, offset: int, size: int) -> IoOp:
+        """Queue an operation; host-instant descriptor write."""
+        if kind not in ("read", "write"):
+            raise ValueError(f"unknown op kind {kind!r}")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        op = IoOp(next(_op_ids), kind, offset, size, self.engine.now)
+        self.ops_submitted += 1
+        self._waiting.append(op)
+        self._pump()
+        return op
+
+    def _pump(self) -> None:
+        while self._waiting and self._inflight < self.spec.queue_depth:
+            op = self._waiting.popleft()
+            self._inflight += 1
+            ready = self.engine.now + self.spec.op_latency_ns
+            xfer_start = max(ready, self._bw_free)
+            done = xfer_start + op.size * 1_000 // self.spec.bytes_per_us
+            self._bw_free = done
+            self.engine.schedule_at(done, self._complete, op)
+
+    def _complete(self, op: IoOp) -> None:
+        self._inflight -= 1
+        op.complete_ns = self.engine.now
+        self.ops_completed += 1
+        self.bytes_moved += op.size
+        self._cq.append(op)
+        self._pump()
+        if self.on_cq_write is not None:
+            self.on_cq_write(self, op)
+
+    # ------------------------------------------------------------------
+    def poll(self) -> list[IoOp]:
+        """Drain the completion queue (host-instant; caller charges CPU)."""
+        out = list(self._cq)
+        self._cq.clear()
+        return out
+
+    def pending(self) -> int:
+        return len(self._waiting) + self._inflight
+
+    def __repr__(self) -> str:
+        return f"<BlockDevice {self.name} inflight={self._inflight} cq={len(self._cq)}>"

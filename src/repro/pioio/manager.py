@@ -1,0 +1,154 @@
+"""PIO-I/O: the paper's future-work I/O library over PIOMan (§VI).
+
+"We also plan to integrate the task mechanism in an I/O library ... the
+goal is to provide a generic framework able to optimize both
+communication and I/O in a scalable way."
+
+:class:`PIOIo` exposes an asynchronous read/write API whose completions
+are reaped by a PIOMan *repeat* polling task, exactly like NewMadeleine's
+NIC polling: the task's CPU set is the set of cores sharing the
+submitter's chip, device CQ writes ring those cores' doorbells, and the
+polling task retires itself once nothing is pending.  Applications
+therefore overlap storage latency with computation for free — including
+on machines where the submitting core stays busy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.core.task import LTask, TaskOption
+from repro.pioio.device import BlockDevice, IoOp
+from repro.threads.flag import Flag
+from repro.threads.instructions import BlockOn, Compute, Instr, SpinOn
+from repro.topology.cpuset import CpuSet
+from repro.topology.machine import Level
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.manager import PIOMan
+    from repro.threads.scheduler import Scheduler
+    from repro.topology.machine import Machine
+
+
+class IoRequest:
+    """Handle for one asynchronous I/O operation."""
+
+    __slots__ = ("op", "flag", "done")
+
+    def __init__(self, op: IoOp, flag: Flag) -> None:
+        self.op = op
+        self.flag = flag
+        self.done = False
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"<IoRequest #{self.op.op_id} {self.op.kind} {self.op.size}B {state}>"
+
+
+class PIOIo:
+    """Asynchronous I/O manager backed by PIOMan polling tasks."""
+
+    #: CPU cost of draining the device CQ once
+    poll_cost_ns = 120
+    #: CPU cost of preparing/submitting one descriptor
+    submit_cost_ns = 350
+
+    def __init__(
+        self,
+        pioman: "PIOMan",
+        device: BlockDevice,
+        *,
+        poll_affinity_level: Level = Level.CHIP,
+    ) -> None:
+        self.pioman = pioman
+        self.machine: "Machine" = pioman.machine
+        self.scheduler: Optional["Scheduler"] = pioman.scheduler
+        self.device = device
+        self.poll_affinity_level = poll_affinity_level
+        self._pending: dict[int, IoRequest] = {}
+        self._poll_task: Optional[LTask] = None
+        self._poll_cpuset: Optional[CpuSet] = None
+        device.on_cq_write = self._on_cq_write
+        self.reaped = 0
+
+    # ------------------------------------------------------------------
+    # submission API (thread-context generators)
+    # ------------------------------------------------------------------
+    def aio_read(self, core: int, offset: int, size: int) -> Generator[Instr, Any, IoRequest]:
+        req = yield from self._submit(core, "read", offset, size)
+        return req
+
+    def aio_write(self, core: int, offset: int, size: int) -> Generator[Instr, Any, IoRequest]:
+        req = yield from self._submit(core, "write", offset, size)
+        return req
+
+    def _submit(self, core: int, kind: str, offset: int, size: int):
+        yield Compute(self.submit_cost_ns)
+        op = self.device.submit(kind, offset, size)
+        flag = Flag(self.machine, self.pioman.engine, home=core, name=f"io{op.op_id}")
+        req = IoRequest(op, flag)
+        self._pending[op.op_id] = req
+        yield from self._ensure_polling(core)
+        return req
+
+    def wait(self, core: int, req: IoRequest, mode: str = "block") -> Generator[Instr, Any, None]:
+        """Wait for one request (block = deschedule; spin = busy-wait)."""
+        if req.done or req.flag.is_set:
+            return
+        if mode == "block":
+            yield BlockOn(req.flag)
+        elif mode == "spin":
+            yield SpinOn(req.flag)
+        else:
+            raise ValueError(f"unknown wait mode {mode!r}")
+
+    def wait_all(self, core: int, reqs, mode: str = "block"):
+        for req in reqs:
+            yield from self.wait(core, req, mode=mode)
+
+    # ------------------------------------------------------------------
+    # polling offload (same shape as NewMadeleine's NIC polling)
+    # ------------------------------------------------------------------
+    def _ensure_polling(self, core: int) -> Generator[Instr, Any, None]:
+        if self._poll_cpuset is None:
+            self._poll_cpuset = self.machine.siblings_sharing(
+                core, self.poll_affinity_level
+            )
+        if self._poll_task is not None or not self._pending:
+            return
+        task = LTask(
+            self._poll_fn,
+            arg=self.device,
+            cpuset=self._poll_cpuset,
+            options=TaskOption.REPEAT,
+            cost_ns=self.poll_cost_ns,
+            name=f"iopoll:{self.device.name}",
+        )
+        self._poll_task = task
+        yield from self.pioman.submit(core, task)
+
+    def _poll_fn(self, task: LTask) -> bool:
+        core = task.current_core if task.current_core is not None else 0
+        for op in self.device.poll():
+            req = self._pending.pop(op.op_id, None)
+            if req is None:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"completion for unknown op {op.op_id}")
+            req.done = True
+            self.reaped += 1
+            req.flag.set(core)
+        if not self._pending:
+            self._poll_task = None
+            return True
+        return False
+
+    def _on_cq_write(self, device: BlockDevice, op: IoOp) -> None:
+        if self.scheduler is None or self._poll_cpuset is None:
+            return
+        origin = self._poll_cpuset.first()
+        self.scheduler.ring_cpuset(self._poll_cpuset, origin, extra_ns=self.poll_cost_ns)
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return f"<PIOIo {self.device.name} pending={len(self._pending)}>"

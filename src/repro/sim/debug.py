@@ -1,0 +1,122 @@
+"""Stall diagnostics: what is every thread doing right now?
+
+When a simulation stops making progress — a protocol deadlock, a stranded
+task, an unsafe MPI pattern — the first question is always "who is
+blocked on what, and where in its code?".  :func:`dump_state` renders
+exactly that: per-core current threads with their generator call stacks
+(function:line through every ``yield from`` level), run queues, blocked
+threads with reasons, lock holders/waiters, task-queue contents, and (if
+NewMadeleine is attached) pending operations and rendezvous state.
+
+These dumps are how this repository's own protocol bugs were found; they
+are shipped as a first-class API because any downstream user writing
+thread bodies will need them within the hour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.units import fmt_ns
+from repro.threads.thread import Prio, SimThread, TState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+    from repro.core.manager import PIOMan
+    from repro.threads.scheduler import Scheduler
+
+
+def gen_stack(thread: SimThread) -> str:
+    """The thread's generator stack as ``outer:12 / inner:34``."""
+    frames = []
+    gen = thread.gen
+    while gen is not None and getattr(gen, "gi_frame", None) is not None:
+        frame = gen.gi_frame
+        frames.append(f"{frame.f_code.co_name}:{frame.f_lineno}")
+        gen = getattr(gen, "gi_yieldfrom", None)
+    return " / ".join(frames) if frames else "(finished)"
+
+
+def thread_line(thread: SimThread) -> str:
+    state = thread.state.value
+    extra = ""
+    if thread.state is TState.BLOCKED and thread.blocked_on:
+        extra = f" on {thread.blocked_on}"
+    elif thread.spin_cancel is not None:
+        extra = " (spinning)"
+    return f"{thread.name:<18} {state}{extra:<24} {gen_stack(thread)}"
+
+
+def scheduler_state(scheduler: "Scheduler", pioman: Optional["PIOMan"] = None) -> str:
+    """One node's scheduling picture."""
+    lines = [f"node {scheduler.name!r} at {fmt_ns(scheduler.engine.now)}:"]
+    for core in scheduler.cores:
+        cur = core.current
+        cur_txt = thread_line(cur) if cur is not None else "(idle)"
+        lines.append(f"  core {core.id}: {cur_txt}")
+        ready = [t.name for t in core.run_queue if t.state is TState.READY]
+        if ready:
+            lines.append(f"          ready: {', '.join(ready)}")
+    blocked = [
+        t
+        for t in scheduler.threads
+        if t.state is TState.BLOCKED and t.prio != Prio.IDLE
+    ]
+    if blocked:
+        lines.append("  blocked threads:")
+        for t in blocked:
+            lines.append(f"    {thread_line(t)}")
+    if pioman is not None:
+        pending = pioman.pending_tasks()
+        if pending:
+            lines.append(f"  queued tasks: {pending}")
+            for q in pioman.hierarchy.queues():
+                if len(q):
+                    names = ", ".join(t.name or "?" for t in q._tasks)
+                    lines.append(f"    {q.name}: [{names}]")
+                if q.lock.held:
+                    lines.append(
+                        f"    {q.name} lock held by core {q.lock.holder}, "
+                        f"waiters {q.lock.waiter_cores()}"
+                    )
+    return "\n".join(lines)
+
+
+def nmad_state(nmad) -> str:
+    """One NewMadeleine instance's protocol picture."""
+    lines = [
+        f"nmad node{nmad.node.id}: pending_ops={nmad.pending_ops}",
+    ]
+    if nmad.expected:
+        lines.append(f"  expected recvs: {nmad.expected}")
+    if nmad.unexpected:
+        lines.append(f"  unexpected metas: {len(nmad.unexpected)}")
+    if nmad.rdv_out:
+        lines.append(f"  rendezvous out (awaiting CTS/FIN): {nmad.rdv_out}")
+    if nmad.rdv_in:
+        lines.append(f"  rendezvous in (awaiting DATA): {nmad.rdv_in}")
+    for gate in nmad.gates.values():
+        if gate.outbox:
+            lines.append(f"  gate->{gate.peer_node} outbox: {list(gate.outbox)}")
+    polls = {k: (t.state.value if t else "-") for k, t in nmad._poll_tasks.items()}
+    lines.append(f"  poll tasks: {polls}")
+    return "\n".join(lines)
+
+
+def dump_state(target) -> str:
+    """Render a full diagnostic dump.
+
+    ``target`` may be a :class:`~repro.cluster.cluster.Cluster` (every
+    node is dumped, with its nmad instance if attached) or a single
+    :class:`~repro.threads.scheduler.Scheduler`.
+    """
+    from repro.cluster.cluster import Cluster
+
+    if isinstance(target, Cluster):
+        sections = []
+        for node in target.nodes:
+            sections.append(scheduler_state(node.scheduler, node.pioman))
+            if node.comm is not None and hasattr(node.comm, "pending_ops"):
+                sections.append(nmad_state(node.comm))
+        return "\n\n".join(sections)
+    return scheduler_state(target)

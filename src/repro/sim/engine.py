@@ -1,0 +1,178 @@
+"""The discrete-event engine.
+
+A single :class:`Engine` instance drives an entire simulated cluster: all
+cores of all nodes, all NICs and all wires share one virtual clock.  Events
+are ``(time, seq, callback)`` triples on a binary heap; ``seq`` is a global
+monotonically increasing counter so that simultaneous events fire in
+submission order, which makes every run bit-for-bit reproducible.
+
+The engine knows nothing about cores or networks — higher layers schedule
+plain callbacks.  Two conveniences are provided because every layer needs
+them:
+
+* :meth:`Engine.schedule` returns an :class:`Event` handle that can be
+  *cancelled* (lazy deletion — the heap entry is kept but skipped).
+* *Idle hooks*: callables consulted when the heap drains while some
+  component still claims to be waiting for progress; used by the cluster
+  harness to detect deadlocks instead of silently returning.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation substrate."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event heap drains while actors are still blocked."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Instances are ordered by ``(time, seq)`` so they can live directly on
+    the heap.  ``cancel()`` marks the event dead; the engine skips dead
+    events when they surface.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "alive")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.alive = True
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.alive = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self.alive else "dead"
+        return f"<Event t={self.time} seq={self.seq} {state} {getattr(self.fn, '__name__', self.fn)!r}>"
+
+
+class Engine:
+    """Deterministic discrete-event loop with a nanosecond virtual clock."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        #: number of callbacks actually executed (dead events excluded)
+        self.fired: int = 0
+        #: callables polled when the heap drains; if any returns True the
+        #: engine keeps running (the hook is expected to have scheduled
+        #: new work), otherwise :meth:`run` returns.
+        self.drain_hooks: list[Callable[[], bool]] = []
+        #: callables that report the number of actors still blocked waiting
+        #: for a simulation event; consulted on drain for deadlock detection.
+        self.blocked_reporters: list[Callable[[], int]] = []
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now.
+
+        ``delay`` must be non-negative; fractional delays are rounded up so
+        a nonzero delay never becomes zero.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if not isinstance(delay, int):
+            d = int(delay)
+            delay = d if d == delay or d > delay else d + 1
+        ev = Event(self.now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute virtual time (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.schedule(time - self.now, fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time (after pending ties)."""
+        return self.schedule(0, fn, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the heap is drained."""
+        self._skim()
+        return self._heap[0].time if self._heap else None
+
+    def _skim(self) -> None:
+        while self._heap and not self._heap[0].alive:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Run the single next live event.  Returns False if none exist."""
+        self._skim()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        if ev.time < self.now:  # pragma: no cover - heap invariant guard
+            raise SimulationError("event heap produced a past event")
+        self.now = ev.time
+        self.fired += 1
+        ev.fn(*ev.args)
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains, ``until`` ns is reached, or
+        ``max_events`` callbacks fired.  Returns the virtual time.
+
+        Draining with blocked actors raises :class:`DeadlockError` — a
+        simulation that silently stops with threads still waiting is almost
+        always a bug in the caller's protocol.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        fired_at_entry = self.fired
+        try:
+            while True:
+                if max_events is not None and self.fired - fired_at_entry >= max_events:
+                    return self.now
+                nxt = self.peek_time()
+                if nxt is None:
+                    if any(hook() for hook in self.drain_hooks):
+                        continue
+                    blocked = sum(r() for r in self.blocked_reporters)
+                    if blocked:
+                        raise DeadlockError(
+                            f"event heap drained at t={self.now} ns with "
+                            f"{blocked} actor(s) still blocked"
+                        )
+                    return self.now
+                if until is not None and nxt > until:
+                    self.now = until
+                    return self.now
+                self.step()
+        finally:
+            self._running = False
+
+    def run_until_idle(self) -> int:
+        """Alias of :meth:`run` with no bound — runs to a fully drained heap."""
+        return self.run()
+
+    def pending(self) -> int:
+        """Number of live events still queued (O(n); for tests/diagnostics)."""
+        return sum(1 for ev in self._heap if ev.alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine now={self.now}ns pending={self.pending()} fired={self.fired}>"

@@ -1,0 +1,82 @@
+"""Run reports: core utilization, task distribution, queue health.
+
+Post-mortem rendering of a simulation's statistics — what a user looks at
+to answer "which cores did the progression work, how contended were the
+queues, did my threads actually overlap anything?".  Pure formatting over
+the stats objects the subsystems already maintain.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.units import fmt_ns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.manager import PIOMan
+    from repro.threads.scheduler import Scheduler
+
+
+def _bar(frac: float, width: int = 24) -> str:
+    frac = min(max(frac, 0.0), 1.0)
+    filled = round(frac * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def core_utilization(scheduler: "Scheduler", pioman: Optional["PIOMan"] = None) -> str:
+    """Per-core busy time, context switches, keypoints and task work."""
+    now = scheduler.engine.now or 1
+    lines = [
+        f"core utilization over {fmt_ns(now)} "
+        f"(node {scheduler.name!r}, {len(scheduler.cores)} cores)"
+    ]
+    execs = pioman.stats.executions_by_core if pioman is not None else {}
+    header = f"{'core':>5} {'busy':>8} {'util':>6}  {'':24} {'ctxsw':>6} {'tasks':>7}"
+    lines.append(header)
+    for core in scheduler.cores:
+        frac = core.busy_ns / now
+        lines.append(
+            f"{core.id:>5} {fmt_ns(core.busy_ns):>8} {frac:>6.1%}  "
+            f"{_bar(frac)} {core.ctx_switches:>6} {execs.get(core.id, 0):>7}"
+        )
+    total_busy = sum(c.busy_ns for c in scheduler.cores)
+    lines.append(
+        f"total busy {fmt_ns(total_busy)} "
+        f"({total_busy / (now * len(scheduler.cores)):.1%} of machine)"
+    )
+    return "\n".join(lines)
+
+
+def queue_report(pioman: "PIOMan") -> str:
+    """One line per task queue: traffic, contention, balance."""
+    lines = ["task queues (enqueues / dequeues / lost races / lock contention)"]
+    for q in pioman.hierarchy.queues():
+        st = q.stats
+        if st.enqueues == 0:
+            continue  # no task ever routed here
+        ls = q.lock.stats
+        contention = f"{ls.contention_ratio:.0%}" if ls.acquires else "-"
+        lines.append(
+            f"  {q.name:<16} enq={st.enqueues:<6} deq={st.dequeues:<6} "
+            f"lost={st.lost_races:<5} maxlen={st.max_len:<4} lock_cont={contention}"
+        )
+    return "\n".join(lines)
+
+
+def keypoint_report(scheduler: "Scheduler") -> str:
+    """How often each keypoint kind drove progression."""
+    from repro.threads.scheduler import Keypoint
+
+    parts = [
+        f"{kind.value}={scheduler.keypoint_count(kind)}" for kind in Keypoint
+    ]
+    return "progression keypoints: " + ", ".join(parts)
+
+
+def full_report(scheduler: "Scheduler", pioman: Optional["PIOMan"] = None) -> str:
+    """Everything, ready to print."""
+    sections = [core_utilization(scheduler, pioman)]
+    if pioman is not None:
+        sections.append(queue_report(pioman))
+    sections.append(keypoint_report(scheduler))
+    return "\n\n".join(sections)

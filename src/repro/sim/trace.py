@@ -1,0 +1,75 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects ``TraceRecord`` tuples from any subsystem that
+was handed one.  Tracing is opt-in and cheap when disabled (`enabled`
+flag checked before formatting anything).  Records carry a category so a
+test or a debugging session can filter, e.g. ``trace.select("lock")`` or
+``trace.select("nic", "pioman")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: when, which subsystem, where, what."""
+
+    time: int
+    category: str
+    actor: str
+    message: str
+    data: Optional[dict] = None
+
+    def __str__(self) -> str:
+        return f"[{self.time:>12} ns] {self.category:<8} {self.actor:<14} {self.message}"
+
+
+class Tracer:
+    """Collects trace records; disabled by default."""
+
+    def __init__(self, enabled: bool = False, limit: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.limit = limit
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(
+        self,
+        time: int,
+        category: str,
+        actor: str,
+        message: str,
+        **data: Any,
+    ) -> None:
+        """Record one event if tracing is on (and under the record limit)."""
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, category, actor, message, data or None))
+
+    def select(self, *categories: str) -> list[TraceRecord]:
+        """All records whose category is one of ``categories``."""
+        wanted = set(categories)
+        return [r for r in self.records if r.category in wanted]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def dump(self, categories: Optional[Iterable[str]] = None) -> str:
+        """Human-readable multi-line dump (optionally filtered)."""
+        recs = self.records if categories is None else self.select(*categories)
+        return "\n".join(str(r) for r in recs)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+#: A process-wide always-disabled tracer, handed out as a default so
+#: subsystems never need to branch on "do I have a tracer".
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,37 @@
+"""Time units.
+
+The simulator counts virtual time in integer **nanoseconds**.  Integers keep
+the event heap exactly ordered (no float drift) and make calibration
+constants readable.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond — the base unit.
+NS = 1
+#: One microsecond in nanoseconds.
+US = 1_000
+#: One millisecond in nanoseconds.
+MS = 1_000_000
+#: One second in nanoseconds.
+SEC = 1_000_000_000
+
+
+def fmt_ns(ns: float) -> str:
+    """Render a nanosecond quantity with a human-friendly unit.
+
+    >>> fmt_ns(750)
+    '750 ns'
+    >>> fmt_ns(13585)
+    '13.59 us'
+    >>> fmt_ns(2_000_000)
+    '2.00 ms'
+    """
+    ns = float(ns)
+    if abs(ns) < 1_000:
+        return f"{ns:.0f} ns"
+    if abs(ns) < 1_000_000:
+        return f"{ns / 1_000:.2f} us"
+    if abs(ns) < 1_000_000_000:
+        return f"{ns / 1_000_000:.2f} ms"
+    return f"{ns / 1_000_000_000:.3f} s"

@@ -1,0 +1,8 @@
+"""Synchronization primitives over the simulated memory model."""
+
+from repro.sync.spinlock import SpinLock
+from repro.sync.mutex import Mutex
+from repro.sync.condition import AtomicCounter, Condition
+from repro.sync.stats import LockStats
+
+__all__ = ["SpinLock", "Mutex", "Condition", "AtomicCounter", "LockStats"]

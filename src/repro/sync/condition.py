@@ -1,0 +1,132 @@
+"""Condition variable and atomic counter over the simulated substrate.
+
+:class:`Condition` is the classic monitor primitive (Mesa semantics) built
+on a :class:`~repro.sync.mutex.Mutex`: waiters release the mutex, sleep,
+and re-acquire it before returning, so user code always re-checks its
+predicate in a loop.  Mad-MPI-style blocking receives use the lighter
+:class:`~repro.threads.flag.Flag` directly; the condition variable exists
+for library clients that need shared-state monitors (e.g. bounded queues
+between application threads).
+
+:class:`AtomicCounter` models a fetch-and-add cell: one RMW on a hot line,
+with the same coherence pricing as every other word in the system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.mem.cacheline import CacheLine, MemStats
+from repro.sync.mutex import Mutex
+from repro.threads.instructions import Compute, Instr, MutexAcquire, MutexRelease
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.threads.thread import SimThread
+    from repro.topology.machine import Machine
+
+
+class Condition:
+    """Mesa-semantics condition variable bound to a mutex."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        engine: "Engine",
+        mutex: Optional[Mutex] = None,
+        home: int = 0,
+        name: str = "",
+    ) -> None:
+        self.machine = machine
+        self.engine = engine
+        self.mutex = mutex if mutex is not None else Mutex(machine, engine, home=home, name=f"{name}.m")
+        self.name = name or "cond"
+        self._waiters: deque["SimThread"] = deque()
+        self._wake_flags: dict = {}
+        self.signals = 0
+        self.broadcasts = 0
+
+    # -- generators used from thread context ------------------------------
+    def acquire(self) -> Instr:
+        return MutexAcquire(self.mutex)
+
+    def release(self) -> Instr:
+        return MutexRelease(self.mutex)
+
+    def wait(self, thread_ctx) -> Generator[Instr, Any, None]:
+        """Release the mutex, sleep until signalled, re-acquire.
+
+        Must be called with the mutex held; callers re-check their
+        predicate afterwards (Mesa semantics — a signal is a hint).
+        """
+        thread = thread_ctx.thread
+        if self.mutex.holder is not thread:
+            raise RuntimeError(f"{self.name}: wait() without holding the mutex")
+        from repro.threads.instructions import BlockOn
+        from repro.threads.flag import Flag
+
+        # Register the wake flag BEFORE releasing the mutex: a notifier
+        # running in the release-to-block window must find it, or its
+        # signal would be lost and this thread would sleep forever.
+        flag = Flag(self.machine, self.engine, home=thread.core_id, name=f"{self.name}.w")
+        self._waiters.append(thread)
+        self._wake_flags[thread] = flag
+        yield MutexRelease(self.mutex)
+        yield BlockOn(flag)
+        yield MutexAcquire(self.mutex)
+
+    def _notify_one(self, core: int) -> bool:
+        while self._waiters:
+            thread = self._waiters.popleft()
+            flag = self._wake_flags.pop(thread, None)
+            if flag is not None:
+                flag.set(core)
+                return True
+        return False
+
+    def notify(self, thread_ctx) -> Generator[Instr, Any, None]:
+        """Wake one waiter (caller should hold the mutex)."""
+        self.signals += 1
+        yield Compute(self.machine.spec.local_ns)
+        self._notify_one(thread_ctx.core_id)
+
+    def notify_all(self, thread_ctx) -> Generator[Instr, Any, None]:
+        """Wake every waiter."""
+        self.broadcasts += 1
+        yield Compute(self.machine.spec.local_ns)
+        while self._notify_one(thread_ctx.core_id):
+            pass
+
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class AtomicCounter:
+    """Fetch-and-add cell with coherence-priced RMWs."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        engine: "Engine",
+        home: int = 0,
+        name: str = "",
+        initial: int = 0,
+        stats: Optional[MemStats] = None,
+    ) -> None:
+        self.machine = machine
+        self.line = CacheLine(machine, home=home, name=name or "atomic", stats=stats)
+        self.value = initial
+
+    def fetch_add(self, core: int, delta: int = 1) -> Generator[Instr, Any, int]:
+        """Atomically add ``delta``; returns the previous value."""
+        cost = self.line.rmw(core)
+        yield Compute(cost)
+        old = self.value
+        self.value += delta
+        return old
+
+    def load(self, core: int) -> Generator[Instr, Any, int]:
+        cost = self.line.read(core)
+        yield Compute(cost)
+        return self.value

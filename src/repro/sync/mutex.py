@@ -1,0 +1,90 @@
+"""Blocking mutex.
+
+The counter-model to :class:`~repro.sync.spinlock.SpinLock`: a waiter is
+descheduled instead of spinning, which frees the core but costs a context
+switch on each side of the wait.  The paper argues (§IV-A) that for
+queue-length critical sections this trade is a clear loss; ablation A2
+reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.mem.cacheline import CacheLine, MemStats
+from repro.sync.stats import LockStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.topology.machine import Machine
+    from repro.threads.thread import SimThread
+
+
+class Mutex:
+    """FIFO blocking mutex; waiters are parked threads."""
+
+    __slots__ = ("machine", "engine", "line", "name", "held", "holder", "_waiters", "stats")
+
+    def __init__(
+        self,
+        machine: "Machine",
+        engine: "Engine",
+        home: int = 0,
+        name: str = "",
+        stats: Optional[LockStats] = None,
+        mem_stats: Optional[MemStats] = None,
+    ) -> None:
+        self.machine = machine
+        self.engine = engine
+        self.line = CacheLine(machine, home=home, name=name or "mutex", stats=mem_stats)
+        self.name = name
+        self.held = False
+        self.holder: Optional["SimThread"] = None
+        self._waiters: deque[tuple["SimThread", int]] = deque()
+        self.stats = stats if stats is not None else LockStats()
+
+    def acquire(self, thread: "SimThread") -> Optional[int]:
+        """Try to take the mutex for ``thread``.
+
+        Returns the acquisition cost in ns on success, or ``None`` if the
+        thread must block (the scheduler deschedules it; :meth:`release`
+        will wake it with ownership already transferred).
+        """
+        if not self.held:
+            cost = self.line.rmw(thread.core_id)
+            self.held = True
+            self.holder = thread
+            self.stats.note_acquire(thread.core_id, contended=False)
+            return cost
+        self._waiters.append((thread, self.engine.now))
+        self.stats.note_waiters(len(self._waiters))
+        return None
+
+    def release(self, thread: "SimThread") -> int:
+        """Release; wakes the first waiter (FIFO). Returns store cost."""
+        if not self.held or self.holder is not thread:
+            raise RuntimeError(f"mutex {self.name!r} released by non-holder")
+        cost = self.line.write(thread.core_id)
+        if not self._waiters:
+            self.held = False
+            self.holder = None
+            return cost
+        waiter, t_enq = self._waiters.popleft()
+        self.holder = waiter
+        delay = cost + self.machine.xfer(thread.core_id, waiter.core_id)
+        grant_time = self.engine.now + delay
+        self.stats.note_acquire(
+            waiter.core_id, contended=True, spin_ns=grant_time - t_enq
+        )
+        self.stats.handoffs += 1
+        # The scheduler charges the context-switch cost when re-dispatching.
+        self.engine.schedule(delay, waiter.scheduler.wake, waiter)
+        return cost
+
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        state = "held" if self.held else "free"
+        return f"<Mutex {self.name or id(self)} {state} waiters={len(self._waiters)}>"

@@ -1,0 +1,175 @@
+"""Spinlock with NUMA-aware contention model.
+
+PIOMan protects each task queue with a spinlock (paper §IV-A): critical
+sections are shorter than a context switch, so blocking mutexes would only
+add scheduling latency.  The simulated lock reproduces the two phenomena
+the paper measures:
+
+* **handoff cost scales with distance** — transferring the lock word is a
+  cache-line move between the previous and the next holder, so the cost of
+  a contended acquisition depends on where the contenders sit in the
+  topology;
+* **NUMA capture** — when the lock is released, nearby spinners observe the
+  release first and win the race.  The paper reports exactly this on the
+  kwak global queue ("most of the tasks are executed by cores located on
+  NUMA node #2"); here it emerges from choosing the minimum-transfer-cost
+  waiter, with FIFO order only breaking ties.
+
+Contended handoffs are multiplied by ``MachineSpec.contended_factor`` to
+account for the CAS-retry storm a real test-and-set spin generates while
+several cores hammer the same line.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.mem.cacheline import CacheLine, MemStats
+from repro.sync.stats import LockStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.topology.machine import Machine
+
+
+class _Waiter:
+    __slots__ = ("core", "grant_cb", "enqueue_time", "seq")
+
+    def __init__(self, core: int, grant_cb: Callable[[], None], t: int, seq: int) -> None:
+        self.core = core
+        self.grant_cb = grant_cb
+        self.enqueue_time = t
+        self.seq = seq
+
+
+class SpinLock:
+    """A test-and-test-and-set spinlock over a modeled cache line."""
+
+    __slots__ = (
+        "machine",
+        "engine",
+        "line",
+        "name",
+        "held",
+        "holder",
+        "_waiters",
+        "_seq",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        machine: "Machine",
+        engine: "Engine",
+        home: int = 0,
+        name: str = "",
+        stats: Optional[LockStats] = None,
+        mem_stats: Optional[MemStats] = None,
+    ) -> None:
+        self.machine = machine
+        self.engine = engine
+        self.line = CacheLine(machine, home=home, name=name or "spinlock", stats=mem_stats)
+        self.name = name
+        self.held = False
+        self.holder: Optional[int] = None
+        self._waiters: list[_Waiter] = []
+        self._seq = 0
+        self.stats = stats if stats is not None else LockStats()
+
+    # ------------------------------------------------------------------
+    def acquire(self, core: int, grant_cb: Callable[[], None]) -> Optional[_Waiter]:
+        """Request the lock for ``core``; ``grant_cb`` fires when granted.
+
+        The caller's core is assumed to busy-spin meanwhile (the scheduler
+        keeps the thread in the RUNNING state); the elapsed time until the
+        grant *is* the spin time.  Returns the waiter entry when the lock
+        was contended (so the scheduler can cancel the spin on a timer
+        preemption), or None when the grant is already scheduled.
+        """
+        now = self.engine.now
+        if not self.held:
+            # Uncontended path: one RMW on the lock word.
+            cost = self.line.rmw(core)
+            self.held = True
+            self.holder = core
+            self.stats.note_acquire(core, contended=False)
+            self.engine.schedule(cost, grant_cb)
+            return None
+        # Contended: pay the failed CAS, then spin until handed off.
+        self.line.rmw(core)  # mutates coherence state; latency folded into spin
+        waiter = _Waiter(core, grant_cb, now, self._seq)
+        self._waiters.append(waiter)
+        self._seq += 1
+        self.stats.note_waiters(len(self._waiters))
+        return waiter
+
+    def cancel_waiter(self, waiter: _Waiter) -> bool:
+        """Deregister a spinning waiter (timer preemption).
+
+        Returns False when the waiter was already selected for a handoff —
+        its grant is in flight and cannot be cancelled."""
+        try:
+            self._waiters.remove(waiter)
+            return True
+        except ValueError:
+            return False
+
+    def release(self, core: int) -> int:
+        """Release by the holder; returns the releaser's store cost in ns.
+
+        If spinners are queued the lock is handed directly to the one with
+        the cheapest line transfer from the releaser (NUMA capture), after
+        a delay of that transfer cost — scaled by the contended factor when
+        several cores are fighting for the line.
+        """
+        if not self.held or self.holder != core:
+            raise RuntimeError(
+                f"release of {self.name!r} by core {core}, holder={self.holder}"
+            )
+        cost = self.line.write(core)
+        if not self._waiters:
+            self.held = False
+            self.holder = None
+            return cost
+
+        # NUMA capture: the nearest waiter usually observes the release
+        # first and wins — but hardware arbitration is eventually fair, so
+        # a waiter older than the starvation bound takes priority (without
+        # this, two nearby cores can ping-pong the lock forever while
+        # remote spinners starve).
+        oldest = min(self._waiters, key=lambda w: w.seq)
+        starved = (
+            self.engine.now - oldest.enqueue_time
+            >= self.machine.spec.lock_starvation_ns
+        )
+        if starved:
+            winner = oldest
+        else:
+            winner = min(
+                self._waiters,
+                key=lambda w: (self.machine.xfer(core, w.core), w.seq),
+            )
+        self._waiters.remove(winner)
+        xfer = self.machine.xfer(core, winner.core)
+        if self._waiters:  # others still hammering the line (CAS storm)
+            xfer = int(xfer * self.machine.spec.contended_factor)
+        delay = cost + xfer + self.machine.spec.cas_ns
+        self.holder = winner.core  # ownership transfers at release time
+        grant_time = self.engine.now + delay
+        self.stats.note_acquire(
+            winner.core, contended=True, spin_ns=grant_time - winner.enqueue_time
+        )
+        self.stats.handoffs += 1
+        self.engine.schedule(delay, winner.grant_cb)
+        return cost
+
+    # -- inspection -----------------------------------------------------
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def waiter_cores(self) -> list[int]:
+        return [w.core for w in self._waiters]
+
+    def __repr__(self) -> str:
+        state = f"held by {self.holder}" if self.held else "free"
+        return f"<SpinLock {self.name or id(self)} {state} waiters={len(self._waiters)}>"

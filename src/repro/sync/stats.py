@@ -1,0 +1,46 @@
+"""Lock statistics.
+
+Separated out so spinlocks, mutexes and the lock-free queue variant all
+report through the same structure, letting benchmarks and tests compare
+them uniformly (ablations A2/A4 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LockStats:
+    """Counters for one lock (or one family of locks)."""
+
+    acquires: int = 0
+    uncontended: int = 0
+    contended: int = 0
+    handoffs: int = 0
+    total_spin_ns: int = 0
+    max_waiters: int = 0
+    #: acquisitions per core id — exposes the NUMA-capture imbalance the
+    #: paper observes on the global queue
+    per_core_acquires: dict[int, int] = field(default_factory=dict)
+
+    def note_acquire(self, core: int, contended: bool, spin_ns: int = 0) -> None:
+        self.acquires += 1
+        if contended:
+            self.contended += 1
+            self.total_spin_ns += spin_ns
+        else:
+            self.uncontended += 1
+        self.per_core_acquires[core] = self.per_core_acquires.get(core, 0) + 1
+
+    def note_waiters(self, n: int) -> None:
+        if n > self.max_waiters:
+            self.max_waiters = n
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of acquisitions that had to wait."""
+        return self.contended / self.acquires if self.acquires else 0.0
+
+    def mean_spin_ns(self) -> float:
+        return self.total_spin_ns / self.contended if self.contended else 0.0

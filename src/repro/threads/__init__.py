@@ -1,0 +1,47 @@
+"""Generator-coroutine thread scheduler (the Marcel stand-in)."""
+
+from repro.threads.flag import Flag
+from repro.threads.instructions import (
+    Acquire,
+    BlockOn,
+    BlockOnAny,
+    Compute,
+    Instr,
+    MutexAcquire,
+    MutexRelease,
+    Park,
+    Release,
+    SetFlag,
+    Sleep,
+    SpinOn,
+    YieldCPU,
+    compute,
+    sleep,
+)
+from repro.threads.scheduler import Keypoint, Scheduler
+from repro.threads.thread import Prio, SimThread, ThreadCtx, TState
+
+__all__ = [
+    "Flag",
+    "Instr",
+    "Compute",
+    "Acquire",
+    "Release",
+    "MutexAcquire",
+    "MutexRelease",
+    "BlockOn",
+    "BlockOnAny",
+    "SpinOn",
+    "SetFlag",
+    "Sleep",
+    "YieldCPU",
+    "Park",
+    "compute",
+    "sleep",
+    "Keypoint",
+    "Scheduler",
+    "Prio",
+    "SimThread",
+    "ThreadCtx",
+    "TState",
+]

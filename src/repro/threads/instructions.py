@@ -1,0 +1,164 @@
+"""Thread instruction set.
+
+Simulated threads are Python generators.  Each ``yield`` hands the
+scheduler one *instruction* describing what the thread does next in
+virtual time — compute, take a spinlock, block on a flag, sleep...  The
+scheduler interprets the instruction, charges the corresponding virtual
+time to the thread's core, and resumes the generator when the operation
+completes.  Library layers (PIOMan, NewMadeleine, MPI) are themselves
+generators composed with ``yield from``, so a whole communication stack
+unwinds into a flat stream of these instructions.
+
+This generator encoding is the project's GIL substitution: concurrency is
+exact interleaving in virtual time rather than preemptive host threads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sync.spinlock import SpinLock
+    from repro.sync.mutex import Mutex
+    from repro.threads.flag import Flag
+
+
+class Instr:
+    """Base class for all thread instructions."""
+
+    __slots__ = ()
+
+
+class Compute(Instr):
+    """Occupy the core for ``ns`` nanoseconds of application computation.
+
+    Long computations are transparently sliced at timer-quantum boundaries
+    so timer keypoints still fire during them.
+    """
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int) -> None:
+        if ns < 0:
+            raise ValueError("negative compute duration")
+        self.ns = ns
+
+    def __repr__(self) -> str:
+        return f"Compute({self.ns})"
+
+
+class Acquire(Instr):
+    """Take a spinlock; the core busy-spins until the lock is granted."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "SpinLock") -> None:
+        self.lock = lock
+
+
+class Release(Instr):
+    """Release a spinlock previously acquired by this thread."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "SpinLock") -> None:
+        self.lock = lock
+
+
+class MutexAcquire(Instr):
+    """Take a blocking mutex; the thread is descheduled while waiting."""
+
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: "Mutex") -> None:
+        self.mutex = mutex
+
+
+class MutexRelease(Instr):
+    """Release a blocking mutex."""
+
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: "Mutex") -> None:
+        self.mutex = mutex
+
+
+class BlockOn(Instr):
+    """Deschedule until the flag is set (a blocking condition wait)."""
+
+    __slots__ = ("flag",)
+
+    def __init__(self, flag: "Flag") -> None:
+        self.flag = flag
+
+
+class BlockOnAny(Instr):
+    """Deschedule until *any* of the flags is set (MPI waitany shape).
+
+    The scheduler registers the thread on every flag and deregisters it
+    from the rest on wake-up; callers re-check which flag fired (spurious
+    wake-ups are allowed, Mesa style).
+    """
+
+    __slots__ = ("flags",)
+
+    def __init__(self, flags) -> None:
+        self.flags = list(flags)
+        if not self.flags:
+            raise ValueError("BlockOnAny needs at least one flag")
+
+
+class SpinOn(Instr):
+    """Busy-spin (core occupied) until the flag is set.
+
+    Used by ``piom_wait``-style waiting where the waiter keeps its core —
+    completion is noticed one cache-line transfer after the setter's store,
+    exactly like a real spin on a completion word.
+    """
+
+    __slots__ = ("flag",)
+
+    def __init__(self, flag: "Flag") -> None:
+        self.flag = flag
+
+
+class SetFlag(Instr):
+    """Set a flag (store + invalidations) and wake its waiters."""
+
+    __slots__ = ("flag",)
+
+    def __init__(self, flag: "Flag") -> None:
+        self.flag = flag
+
+
+class Sleep(Instr):
+    """Deschedule for ``ns`` nanoseconds."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int) -> None:
+        if ns < 0:
+            raise ValueError("negative sleep duration")
+        self.ns = ns
+
+
+class YieldCPU(Instr):
+    """Voluntarily yield the core (a context-switch keypoint)."""
+
+    __slots__ = ()
+
+
+class Park(Instr):
+    """Idle-thread only: deschedule until the core's doorbell rings."""
+
+    __slots__ = ()
+
+
+def compute(ns: int) -> Iterator[Instr]:
+    """``yield from compute(n)`` helper for library code."""
+    yield Compute(ns)
+
+
+def sleep(ns: int) -> Iterator[Instr]:
+    """``yield from sleep(n)`` helper for library code."""
+    yield Sleep(ns)

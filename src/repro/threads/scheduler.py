@@ -1,0 +1,687 @@
+"""The thread scheduler (Marcel stand-in).
+
+One :class:`Scheduler` drives the cores of one machine (one cluster node).
+It owns per-core run queues, charges context-switch costs, slices long
+computations at timer-quantum boundaries, and — the part the paper builds
+on — invokes a *progression hook* at the scheduler keypoints:
+
+* **idle**: each core runs an idle thread whose loop calls the hook;
+* **timer interrupt**: a periodic tick on busy cores injects a one-shot
+  SYSTEM-priority hook thread;
+* **context switch**: switching between two application threads also
+  injects the hook (rate-limited);
+* **wait**: waiting threads may call the hook themselves via
+  :func:`repro.core.progress.piom_wait`.
+
+PIOMan attaches itself by assigning :attr:`Scheduler.progression_hook` —
+the scheduler has no knowledge of task queues; it only provides keypoints,
+exactly like Marcel provides triggers to PIOMan (paper §IV-A).
+
+Doorbells
+---------
+Idle cores eventually *park* (no live events) rather than looping forever.
+Submitting a task to a queue a core may serve — or a NIC writing to a
+completion queue some core polls — *rings* that core's doorbell with a
+delay equal to the cache-line transfer distance from the writer.  This is
+the event-count-efficient model of spin-polling discussed in DESIGN.md §2:
+a spinning core would notice the write exactly one coherence transfer
+after it happens, which is precisely when the ring lands.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.threads.flag import Flag
+from repro.threads.instructions import (
+    Acquire,
+    BlockOn,
+    BlockOnAny,
+    Compute,
+    Instr,
+    MutexAcquire,
+    MutexRelease,
+    Park,
+    Release,
+    SetFlag,
+    Sleep,
+    SpinOn,
+    YieldCPU,
+)
+from repro.threads.thread import Prio, SimThread, ThreadCtx, TState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology.machine import Machine
+
+#: signature of the progression hook: ``hook(core_id)`` is a generator
+#: yielding instructions and returning ``(tasks_run, repeats_seen,
+#: contended)`` — contended means the pass lost a dequeue race.
+ProgressionHook = Callable[[int], Generator[Instr, Any, tuple[int, int, bool]]]
+
+
+class Keypoint(enum.Enum):
+    IDLE = "idle"
+    TIMER = "timer"
+    CTX_SWITCH = "ctx_switch"
+    WAIT = "wait"
+
+
+class CoreState:
+    """Mutable per-core scheduling state."""
+
+    __slots__ = (
+        "id",
+        "run_queue",
+        "current",
+        "last_thread",
+        "idle_thread",
+        "timer_armed",
+        "hook_live",
+        "last_inject",
+        "busy_ns",
+        "ctx_switches",
+        "timer_ticks",
+        "keypoint_counts",
+        "preempt_pending",
+    )
+
+    def __init__(self, core_id: int) -> None:
+        self.id = core_id
+        self.run_queue: list[SimThread] = []
+        self.current: Optional[SimThread] = None
+        self.last_thread: Optional[SimThread] = None
+        self.idle_thread: Optional[SimThread] = None
+        self.timer_armed = False
+        self.hook_live = False
+        self.last_inject = -(10**12)
+        self.busy_ns = 0
+        self.ctx_switches = 0
+        self.timer_ticks = 0
+        self.keypoint_counts: dict[Keypoint, int] = {k: 0 for k in Keypoint}
+        self.preempt_pending = False
+
+
+class Scheduler:
+    """Per-node thread scheduler over simulated cores."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        engine: Engine,
+        *,
+        name: str = "node0",
+        tracer: Tracer = NULL_TRACER,
+        ctx_hook_min_interval_ns: int = 2_000,
+        enable_ctx_hook: bool = True,
+        enable_timer_hook: bool = True,
+        rng: Optional[Rng] = None,
+        true_spin: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.engine = engine
+        self.name = name
+        self.tracer = tracer
+        self.cores = [CoreState(i) for i in range(machine.ncores)]
+        self.progression_hook: Optional[ProgressionHook] = None
+        self.ctx_hook_min_interval_ns = ctx_hook_min_interval_ns
+        self.enable_ctx_hook = enable_ctx_hook
+        self.enable_timer_hook = enable_timer_hook
+        #: randomness source for doorbell probe phases (see ring_doorbell)
+        self.rng = rng if rng is not None else Rng(0)
+        #: validation mode: idle cores literally re-scan every probe cycle
+        #: instead of parking on doorbells.  Orders of magnitude more
+        #: events — only for checking the doorbell model's equivalence on
+        #: small scenarios (DESIGN.md section 2).
+        self.true_spin = true_spin
+        self._seq = 0
+        self._rr_seq = 0
+        #: live application threads (used to quiesce idle polling)
+        self.normal_live = 0
+        self.threads: list[SimThread] = []
+        engine.blocked_reporters.append(self._count_hard_blocked)
+        for core in self.cores:
+            core.idle_thread = self._spawn_idle(core.id)
+
+    # ------------------------------------------------------------------
+    # spawning
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        body: Callable[[ThreadCtx], Generator[Instr, Any, Any]],
+        core: int,
+        *,
+        name: str = "",
+        prio: Prio = Prio.NORMAL,
+    ) -> SimThread:
+        """Create a thread pinned to ``core`` and make it runnable."""
+        if not 0 <= core < len(self.cores):
+            raise ValueError(f"no such core {core}")
+        self._seq += 1
+        flag = Flag(self.machine, self.engine, home=core, name=f"join:{name or self._seq}")
+        t = SimThread(self, body, core, name or f"t{self._seq}", prio, self._seq, flag)
+        self.threads.append(t)
+        if prio == Prio.NORMAL:
+            self.normal_live += 1
+        t.state = TState.READY
+        self._enqueue(t)
+        return t
+
+    def _spawn_idle(self, core_id: int) -> SimThread:
+        t = self.spawn(self._idle_body, core_id, name=f"idle{core_id}", prio=Prio.IDLE)
+        return t
+
+    def join(self, thread: SimThread) -> Generator[Instr, Any, Any]:
+        """``yield from scheduler.join(t)`` — wait for a thread to finish."""
+        if thread.alive:
+            yield BlockOn(thread.done_flag)
+        return thread.result
+
+    # ------------------------------------------------------------------
+    # the idle loop (IDLE keypoint)
+    # ------------------------------------------------------------------
+    #: how many extra probe cycles an idle core lingers after losing a
+    #: dequeue race before parking (a spinning core stays in its hot loop)
+    idle_linger_probes = 4
+
+    def _idle_body(self, ctx: ThreadCtx) -> Generator[Instr, Any, Any]:
+        core_id = ctx.core_id
+        spec = self.machine.spec
+        linger = 0
+        while True:
+            hook = self.progression_hook
+            if hook is None:
+                yield Park()
+                continue
+            self.cores[core_id].keypoint_counts[Keypoint.IDLE] += 1
+            res = yield from hook(core_id)
+            if res is None:
+                res = (0, 0, False)
+            ran, repeats, contended = (res + (False,))[:3]
+            if self._has_ready_normal(core_id):
+                yield YieldCPU()
+            elif ran > repeats:
+                # made real progress (completed at least one task):
+                # rescan immediately
+                linger = 0
+                continue
+            elif contended and linger < self.idle_linger_probes:
+                # Just lost a dequeue race: stay hot and re-probe, like a
+                # real spinner would — this keeps contention alive across
+                # back-to-back submissions (paper Tables I/II, level 2/3).
+                linger += 1
+                yield Sleep(spec.probe_cycle_ns)
+            elif repeats and self.normal_live > 0:
+                linger = 0
+                yield Sleep(spec.idle_repoll_ns)
+            elif self.true_spin and self.normal_live > 0:
+                # literal spin-polling: re-scan one probe cycle from now
+                linger = 0
+                yield Sleep(spec.probe_cycle_ns)
+            else:
+                linger = 0
+                yield Park()
+
+    def _has_ready_normal(self, core_id: int) -> bool:
+        return any(
+            t.prio <= Prio.NORMAL and t.state is TState.READY
+            for t in self.cores[core_id].run_queue
+        )
+
+    # ------------------------------------------------------------------
+    # doorbells
+    # ------------------------------------------------------------------
+    def ring_doorbell(self, core_id: int, from_core: int, extra_ns: int = 0) -> None:
+        """Wake ``core_id``'s idle loop as its next poll probe would land.
+
+        A continuously-spinning core re-probes every ``probe_cycle_ns``;
+        the write that rings the bell lands at a uniform-random phase of
+        that cycle, plus the line-transfer distance from the writer.  The
+        random phase is what lets equidistant cores race in varying order
+        (and is the source of the contention storms the paper measures on
+        the global queue)."""
+        spec = self.machine.spec
+        phase = self.rng.uniform(0.0, float(spec.probe_cycle_ns))
+        # A probe cannot observe the write before the invalidation reaches
+        # this core: the ring lands no earlier than that propagation.
+        notice = max(
+            self.machine.xfer(from_core, core_id),
+            self.machine.inval(from_core, core_id),
+        )
+        delay = int(phase) + notice + extra_ns
+        self.engine.schedule(delay, self._ring_arrive, core_id)
+
+    def ring_cpuset(self, cpuset, from_core: int, extra_ns: int = 0) -> None:
+        """Ring every core in a CPU set (used on task submission)."""
+        for c in cpuset:
+            if c < len(self.cores):
+                self.ring_doorbell(c, from_core, extra_ns)
+
+    def _ring_arrive(self, core_id: int) -> None:
+        idle = self.cores[core_id].idle_thread
+        if idle is None or idle.state is not TState.BLOCKED:
+            return
+        if idle.sleep_event is not None:
+            idle.sleep_event.cancel()
+            idle.sleep_event = None
+        self.wake(idle)
+
+    # ------------------------------------------------------------------
+    # wake / dispatch machinery
+    # ------------------------------------------------------------------
+    def wake(self, thread: SimThread) -> None:
+        """Transition a BLOCKED thread to READY and dispatch its core."""
+        if thread.state is not TState.BLOCKED:
+            return
+        if thread.sleep_event is not None:
+            thread.sleep_event.cancel()
+            thread.sleep_event = None
+        if thread.multi_flags is not None:
+            # deregister from the flags that did not fire
+            for f in thread.multi_flags:
+                f.remove_blocker(thread)
+            thread.multi_flags = None
+        thread.state = TState.READY
+        thread.blocked_on = ""
+        self._enqueue(thread)
+
+    def _enqueue(self, thread: SimThread) -> None:
+        core = self.cores[thread.core_id]
+        thread.rq_seq = self._rr_seq
+        self._rr_seq += 1
+        core.run_queue.append(thread)
+        cur = core.current
+        if cur is None:
+            self.engine.call_soon(self._dispatch, core.id)
+        elif int(thread.prio) < int(cur.prio):
+            core.preempt_pending = True
+            if cur.spin_cancel is not None:
+                # A higher-priority arrival must not wait behind an
+                # unbounded busy-spin: cancel and re-issue the spin.
+                self._cancel_spin(core, cur)
+
+    def _dispatch(self, core_id: int) -> None:
+        core = self.cores[core_id]
+        if core.current is not None or not core.run_queue:
+            return
+        nxt = min(core.run_queue, key=SimThread.sort_key)
+        core.run_queue.remove(nxt)
+        prev = core.last_thread
+        switch_cost = 0
+        if prev is not nxt and prev is not None:
+            switch_cost = self.machine.spec.context_switch_ns
+            core.ctx_switches += 1
+            self._maybe_inject_hook(core, Keypoint.CTX_SWITCH, prev, nxt)
+        core.current = nxt
+        core.last_thread = nxt
+        nxt.state = TState.RUNNING
+        if nxt.prio == Prio.NORMAL:
+            self._arm_timer(core)
+        nxt.instr_start = self.engine.now + switch_cost
+        if switch_cost:
+            self.engine.schedule(switch_cost, self._advance, core_id, nxt)
+        else:
+            self.engine.call_soon(self._advance, core_id, nxt)
+
+    def _release_core(self, core: CoreState) -> None:
+        core.current = None
+        core.preempt_pending = False
+        if core.run_queue:
+            self.engine.call_soon(self._dispatch, core.id)
+
+    # -- keypoint hook injection ---------------------------------------
+    def _maybe_inject_hook(
+        self, core: CoreState, kind: Keypoint, prev: Optional[SimThread], nxt: Optional[SimThread]
+    ) -> None:
+        if self.progression_hook is None or core.hook_live:
+            return
+        if kind is Keypoint.CTX_SWITCH:
+            if not self.enable_ctx_hook:
+                return
+            # The idle loop already runs the hook; don't double up around it,
+            # and never re-inject around a hook thread's own switches.
+            for t in (prev, nxt):
+                if t is not None and (t.prio != Prio.NORMAL or t.is_hook):
+                    return
+        if kind is Keypoint.TIMER and not self.enable_timer_hook:
+            return
+        now = self.engine.now
+        if now - core.last_inject < self.ctx_hook_min_interval_ns:
+            return
+        core.last_inject = now
+        core.hook_live = True
+        core.keypoint_counts[kind] += 1
+        hook = self.progression_hook
+
+        def body(ctx: ThreadCtx) -> Generator[Instr, Any, Any]:
+            yield from hook(ctx.core_id)
+
+        t = self.spawn(body, core.id, name=f"hook-{kind.value}@{core.id}", prio=Prio.SYSTEM)
+        t.is_hook = True
+        self.tracer.emit(
+            self.engine.now, "sched", f"core{core.id}", f"inject {kind.value} hook"
+        )
+
+    def inject_keypoint(self, core_id: int) -> None:
+        """Force a progression keypoint on a core as soon as possible.
+
+        Used by the preemptive-task extension: the injected SYSTEM-priority
+        hook preempts whatever normal thread is computing there at its next
+        instruction/slice boundary."""
+        core = self.cores[core_id]
+        if self.progression_hook is None or core.hook_live:
+            return
+        core.hook_live = True
+        core.keypoint_counts[Keypoint.CTX_SWITCH] += 1
+        hook = self.progression_hook
+
+        def body(ctx: ThreadCtx) -> Generator[Instr, Any, Any]:
+            yield from hook(ctx.core_id)
+
+        t = self.spawn(body, core_id, name=f"hook-inject@{core_id}", prio=Prio.SYSTEM)
+        t.is_hook = True
+        # behave like an interrupt: do not wait for a slice boundary
+        self.interrupt_compute(core_id)
+
+    # -- timer interrupts ------------------------------------------------
+    def _arm_timer(self, core: CoreState) -> None:
+        if core.timer_armed:
+            return
+        core.timer_armed = True
+        self.engine.schedule(self.machine.spec.timer_quantum_ns, self._timer_tick, core.id)
+
+    def _timer_tick(self, core_id: int) -> None:
+        core = self.cores[core_id]
+        core.timer_armed = False
+        cur = core.current
+        if cur is None or cur.prio != Prio.NORMAL:
+            return  # re-armed lazily when a normal thread runs again
+        core.timer_ticks += 1
+        self._maybe_inject_hook(core, Keypoint.TIMER, cur, cur)
+        # Round-robin among ready threads at or above the current priority.
+        contender = any(
+            t.state is TState.READY and int(t.prio) <= int(cur.prio)
+            for t in core.run_queue
+        )
+        if contender:
+            core.preempt_pending = True
+            if cur.spin_cancel is not None:
+                # Spinners have no instruction boundary; the timer is what
+                # preempts a real busy-wait loop.  Cancel the registration
+                # and re-issue the spin when the thread runs again.
+                self._cancel_spin(core, cur)
+        self._arm_timer(core)
+
+    # ------------------------------------------------------------------
+    # instruction interpreter
+    # ------------------------------------------------------------------
+    def _advance(self, core_id: int, thread: SimThread) -> None:
+        core = self.cores[core_id]
+        if core.current is not thread or thread.state is not TState.RUNNING:
+            return  # stale event (thread moved on)
+        if core.preempt_pending and self._should_preempt(core, thread):
+            self._preempt(core, thread)
+            return
+        instr = thread.pending_instr
+        if instr is not None:
+            thread.pending_instr = None
+        else:
+            try:
+                instr = thread.gen.send(thread.resume_value)
+            except StopIteration as stop:
+                thread.result = stop.value
+                self._finish(core, thread)
+                return
+            thread.resume_value = None
+        thread.instr_start = self.engine.now
+        self._exec(core, thread, instr)
+
+    def _should_preempt(self, core: CoreState, thread: SimThread) -> bool:
+        """Preempt when a higher-priority thread waits, or — once the timer
+        has requested rotation by setting ``preempt_pending`` — when a
+        same-priority thread waits (FIFO requeueing makes this fair)."""
+        return any(
+            t.state is TState.READY and int(t.prio) <= int(thread.prio)
+            for t in core.run_queue
+        )
+
+    def _preempt(self, core: CoreState, thread: SimThread) -> None:
+        core.preempt_pending = False
+        thread.state = TState.READY
+        thread.rq_seq = self._rr_seq
+        self._rr_seq += 1
+        core.run_queue.append(thread)
+        core.current = None
+        self.engine.call_soon(self._dispatch, core.id)
+
+    def _cancel_spin(self, core: CoreState, thread: SimThread) -> None:
+        """Preempt a busy-spinning thread (timer/priority): deregister its
+        waiter entry and arrange for the spin instruction to be re-issued
+        when the thread is dispatched again.  No-op if the grant/wake is
+        already in flight (the thread will proceed imminently)."""
+        cancel_fn, instr = thread.spin_cancel
+        if not cancel_fn():
+            return
+        thread.spin_cancel = None
+        thread.pending_instr = instr
+        self._charge(core, thread, self.engine.now - thread.instr_start)
+        self._preempt(core, thread)
+
+    def _charge(self, core: CoreState, thread: SimThread, ns: int) -> None:
+        thread.cpu_ns += ns
+        core.busy_ns += ns
+
+    def _resume_after(self, core: CoreState, thread: SimThread, cost: int) -> None:
+        """Finish the current instruction ``cost`` ns from now."""
+        self._charge(core, thread, cost)
+        if cost:
+            self.engine.schedule(cost, self._advance, core.id, thread)
+        else:
+            self.engine.call_soon(self._advance, core.id, thread)
+
+    def _compute_done(self, core_id: int, thread: SimThread) -> None:
+        thread.compute_event = None
+        self._advance(core_id, thread)
+
+    def interrupt_compute(self, core_id: int) -> bool:
+        """Interrupt the current thread's in-flight Compute slice (the
+        injected-keypoint / preemptive-task path).  The unused part of the
+        slice is un-charged and re-issued as a pending instruction; the
+        thread is requeued READY.  Returns True if something was
+        interrupted."""
+        core = self.cores[core_id]
+        cur = core.current
+        if cur is None or cur.compute_event is None:
+            return False
+        ev, started, slice_ns = cur.compute_event
+        if not ev.alive:
+            return False
+        ev.cancel()
+        cur.compute_event = None
+        elapsed = self.engine.now - started
+        unused = slice_ns - elapsed
+        self._charge(core, cur, -unused)
+        carry = 0
+        if isinstance(cur.pending_instr, Compute):
+            carry = cur.pending_instr.ns
+        total = unused + carry
+        cur.pending_instr = Compute(total) if total > 0 else None
+        self._preempt(core, cur)
+        return True
+
+    def _block(self, core: CoreState, thread: SimThread, reason: str) -> None:
+        thread.state = TState.BLOCKED
+        thread.blocked_on = reason
+        self._release_core(core)
+
+    def _finish(self, core: CoreState, thread: SimThread) -> None:
+        thread.state = TState.DONE
+        self.tracer.emit(
+            self.engine.now, "sched", f"core{core.id}", f"finish {thread.name}"
+        )
+        if thread.is_hook:
+            core.hook_live = False
+        if thread.prio == Prio.NORMAL:
+            self.normal_live -= 1
+            if self.normal_live == 0:
+                self._nudge_idles()
+        thread.done_flag.set(core.id)
+        self._release_core(core)
+
+    def _nudge_idles(self) -> None:
+        """Wake sleeping idle loops so they can re-evaluate and park."""
+        for core in self.cores:
+            idle = core.idle_thread
+            if (
+                idle is not None
+                and idle.state is TState.BLOCKED
+                and idle.sleep_event is not None
+            ):
+                idle.sleep_event.cancel()
+                idle.sleep_event = None
+                self.wake(idle)
+
+    # -- per-instruction handlers ----------------------------------------
+    def _exec(self, core: CoreState, thread: SimThread, instr: Instr) -> None:
+        if isinstance(instr, Compute):
+            quantum = self.machine.spec.timer_quantum_ns
+            slice_ns = min(instr.ns, quantum)
+            remaining = instr.ns - slice_ns
+            if remaining > 0:
+                thread.pending_instr = Compute(remaining)
+            self._charge(core, thread, slice_ns)
+            ev = self.engine.schedule(slice_ns, self._compute_done, core.id, thread)
+            thread.compute_event = (ev, self.engine.now, slice_ns)
+        elif isinstance(instr, Acquire):
+            start = self.engine.now
+
+            def granted() -> None:
+                thread.spin_cancel = None
+                if thread.state is TState.RUNNING and core.current is thread:
+                    self._charge(core, thread, self.engine.now - start)
+                    self.engine.call_soon(self._advance, core.id, thread)
+                else:  # pragma: no cover - defensive; cancel prevents this
+                    raise RuntimeError(
+                        f"lock {instr.lock.name!r} granted to descheduled "
+                        f"thread {thread.name!r}"
+                    )
+
+            waiter = instr.lock.acquire(core.id, granted)
+            if waiter is not None:
+                lock = instr.lock
+                thread.spin_cancel = (lambda: lock.cancel_waiter(waiter), instr)
+        elif isinstance(instr, Release):
+            cost = instr.lock.release(core.id)
+            self._resume_after(core, thread, cost)
+        elif isinstance(instr, MutexAcquire):
+            cost = instr.mutex.acquire(thread)
+            if cost is None:
+                self._block(core, thread, f"mutex:{instr.mutex.name}")
+            else:
+                self._resume_after(core, thread, cost)
+        elif isinstance(instr, MutexRelease):
+            cost = instr.mutex.release(thread)
+            self._resume_after(core, thread, cost)
+        elif isinstance(instr, BlockOn):
+            cost = instr.flag.read(core.id)
+            if instr.flag.is_set:
+                self._resume_after(core, thread, cost)
+            else:
+                self._charge(core, thread, cost)
+                instr.flag.add_blocker(thread)
+                self._block(core, thread, f"flag:{instr.flag.name}")
+        elif isinstance(instr, BlockOnAny):
+            cost = 0
+            fired = False
+            for f in instr.flags:
+                cost += f.read(core.id)
+                if f.is_set:
+                    fired = True
+                    break
+            if fired:
+                self._resume_after(core, thread, cost)
+            else:
+                self._charge(core, thread, cost)
+                for f in instr.flags:
+                    f.add_blocker(thread)
+                thread.multi_flags = instr.flags
+                self._block(core, thread, f"any-of-{len(instr.flags)}-flags")
+        elif isinstance(instr, SpinOn):
+            cost = instr.flag.read(core.id)
+            if instr.flag.is_set:
+                self._resume_after(core, thread, cost)
+            else:
+                start = self.engine.now
+
+                def spun() -> None:
+                    thread.spin_cancel = None
+                    if thread.state is TState.RUNNING and core.current is thread:
+                        self._charge(core, thread, self.engine.now - start)
+                        self.engine.call_soon(self._advance, core.id, thread)
+                    else:  # pragma: no cover - defensive
+                        raise RuntimeError(
+                            f"flag {instr.flag.name!r} woke a descheduled "
+                            f"spinner {thread.name!r}"
+                        )
+
+                entry = instr.flag.add_spinner(core.id, spun)
+                flag = instr.flag
+                thread.spin_cancel = (lambda: flag.remove_spinner(entry), instr)
+        elif isinstance(instr, SetFlag):
+            cost = instr.flag.set(core.id)
+            self._resume_after(core, thread, cost)
+        elif isinstance(instr, Sleep):
+            thread.sleep_event = self.engine.schedule(instr.ns, self._sleep_wake, thread)
+            self._block(core, thread, f"sleep:{instr.ns}")
+        elif isinstance(instr, YieldCPU):
+            thread.state = TState.READY
+            thread.rq_seq = self._rr_seq
+            self._rr_seq += 1
+            core.run_queue.append(thread)
+            core.current = None
+            core.preempt_pending = False
+            self.engine.call_soon(self._dispatch, core.id)
+        elif isinstance(instr, Park):
+            if thread is not core.idle_thread:
+                raise RuntimeError("only the idle thread may Park")
+            self._block(core, thread, "parked")
+        else:
+            raise TypeError(f"unknown instruction {instr!r} from {thread!r}")
+
+    def _sleep_wake(self, thread: SimThread) -> None:
+        thread.sleep_event = None
+        self.wake(thread)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def _count_hard_blocked(self) -> int:
+        """Threads blocked with no pending event to free them (deadlock
+        candidates once the heap drains).  Parked idle loops and sleepers
+        are excluded — sleepers hold a live timer event anyway."""
+        n = 0
+        for t in self.threads:
+            if t.state is TState.BLOCKED and t.sleep_event is None:
+                if t.prio == Prio.IDLE:
+                    continue
+                n += 1
+        return n
+
+    def blocked_threads(self) -> list[SimThread]:
+        return [
+            t
+            for t in self.threads
+            if t.state is TState.BLOCKED and t.prio != Prio.IDLE and t.sleep_event is None
+        ]
+
+    def keypoint_count(self, kind: Keypoint) -> int:
+        return sum(c.keypoint_counts[kind] for c in self.cores)
+
+    def core_busy_ns(self) -> list[int]:
+        return [c.busy_ns for c in self.cores]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scheduler {self.name} cores={len(self.cores)} live={self.normal_live}>"

@@ -1,0 +1,28 @@
+"""Machine topology: CPU sets, the topology tree and machine builders."""
+
+from repro.topology.cpuset import CpuSet
+from repro.topology.machine import Level, Machine, MachineSpec, TopoNode
+from repro.topology.builder import (
+    MACHINES,
+    borderline,
+    from_counts,
+    kwak,
+    nehalem_ex_64,
+    numa_machine,
+    smp,
+)
+
+__all__ = [
+    "CpuSet",
+    "Level",
+    "Machine",
+    "MachineSpec",
+    "TopoNode",
+    "MACHINES",
+    "borderline",
+    "kwak",
+    "nehalem_ex_64",
+    "smp",
+    "numa_machine",
+    "from_counts",
+]

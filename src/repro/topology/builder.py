@@ -1,0 +1,188 @@
+"""Machine builders.
+
+Two machines are modeled after the paper's evaluation hosts:
+
+* :func:`borderline` — 4-socket dual-core Opteron 8218 (8 cores).  No L3
+  cache, so sibling cores share only the memory bank of their chip; the
+  queue hierarchy has three levels: per-core, per-chip, global (Table I).
+* :func:`kwak` — 4-socket quad-core Opteron 8347HE (16 cores), one NUMA
+  node per socket, 4 cores sharing an L3 per chip (Fig. 3, Table II).
+
+Transfer-latency constants are calibrated from the paper's *uncontended*
+measurements: remote-core task scheduling shows ~+100 ns on borderline and
+~+1 µs on kwak versus local (paper §V-A, level-1 analysis).
+
+Generic builders (:func:`smp`, :func:`numa_machine`) cover arbitrary shapes
+for scalability studies beyond the paper's two hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.topology.machine import Level, Machine, MachineSpec, TopoNode
+
+
+def borderline() -> Machine:
+    """The paper's 8-core host: 4 chips x 2 cores, no shared cache."""
+    spec = MachineSpec(
+        name="borderline",
+        local_ns=6,
+        cas_ns=12,
+        xfer_ns={
+            Level.CHIP: 8,  # sibling core, same memory bank
+            Level.MACHINE: 16,  # cross-chip HyperTransport hop (clean)
+        },
+        contended_factor=55.0,
+        inval_ns={Level.CHIP: 90, Level.MACHINE: 110},
+    )
+    root = TopoNode(Level.MACHINE, 0, name="machine")
+    core_id = 0
+    for chip in range(4):
+        chip_node = TopoNode(Level.CHIP, chip, parent=root)
+        for _ in range(2):
+            TopoNode(Level.CORE, core_id, parent=chip_node)
+            core_id += 1
+    return Machine(spec, root)
+
+
+def kwak() -> Machine:
+    """The paper's 16-core host: 4 NUMA nodes x (1 chip x 4 cores + L3)."""
+    spec = MachineSpec(
+        name="kwak",
+        local_ns=6,
+        cas_ns=12,
+        xfer_ns={
+            Level.CACHE: 10,  # within the shared L3
+            Level.MACHINE: 155,  # cross-NUMA HyperTransport (clean)
+        },
+        contended_factor=25.0,
+        inval_ns={Level.CACHE: 120, Level.MACHINE: 160},
+    )
+    root = TopoNode(Level.MACHINE, 0, name="machine")
+    core_id = 0
+    for numa in range(4):
+        numa_node = TopoNode(Level.NUMA, numa, parent=root)
+        cache = TopoNode(Level.CACHE, numa, parent=numa_node, name=f"l3#{numa}")
+        for _ in range(4):
+            TopoNode(Level.CORE, core_id, parent=cache)
+            core_id += 1
+    return Machine(spec, root)
+
+
+def smp(
+    nchips: int,
+    cores_per_chip: int,
+    *,
+    name: Optional[str] = None,
+    sibling_xfer_ns: int = 30,
+    cross_chip_xfer_ns: int = 100,
+    spec: Optional[MachineSpec] = None,
+) -> Machine:
+    """A flat SMP: ``nchips`` chips of ``cores_per_chip`` cores, no NUMA."""
+    if nchips < 1 or cores_per_chip < 1:
+        raise ValueError("need at least one chip and one core per chip")
+    if spec is None:
+        spec = MachineSpec(
+            name=name or f"smp{nchips}x{cores_per_chip}",
+            xfer_ns={
+                Level.CHIP: sibling_xfer_ns,
+                Level.MACHINE: cross_chip_xfer_ns,
+            },
+        )
+    root = TopoNode(Level.MACHINE, 0, name="machine")
+    core_id = 0
+    for chip in range(nchips):
+        chip_node = TopoNode(Level.CHIP, chip, parent=root)
+        for _ in range(cores_per_chip):
+            TopoNode(Level.CORE, core_id, parent=chip_node)
+            core_id += 1
+    return Machine(spec, root)
+
+
+def numa_machine(
+    nnuma: int,
+    chips_per_numa: int,
+    cores_per_chip: int,
+    *,
+    name: Optional[str] = None,
+    shared_l3: bool = True,
+    l3_xfer_ns: int = 26,
+    chip_xfer_ns: int = 60,
+    numa_xfer_ns: int = 250,
+    cross_numa_xfer_ns: int = 1_000,
+    spec: Optional[MachineSpec] = None,
+) -> Machine:
+    """A generic NUMA machine with the full four-level hierarchy."""
+    for v, label in ((nnuma, "NUMA nodes"), (chips_per_numa, "chips"), (cores_per_chip, "cores")):
+        if v < 1:
+            raise ValueError(f"need at least one of: {label}")
+    if spec is None:
+        xfer = {
+            Level.CHIP: chip_xfer_ns,
+            Level.NUMA: numa_xfer_ns,
+            Level.MACHINE: cross_numa_xfer_ns,
+        }
+        if shared_l3:
+            xfer[Level.CACHE] = l3_xfer_ns
+        spec = MachineSpec(
+            name=name or f"numa{nnuma}x{chips_per_numa}x{cores_per_chip}",
+            xfer_ns=xfer,
+        )
+    root = TopoNode(Level.MACHINE, 0, name="machine")
+    core_id = 0
+    cache_id = 0
+    for numa in range(nnuma):
+        numa_node = TopoNode(Level.NUMA, numa, parent=root)
+        for chip in range(chips_per_numa):
+            chip_node = TopoNode(Level.CHIP, numa * chips_per_numa + chip, parent=numa_node)
+            parent: TopoNode = chip_node
+            if shared_l3:
+                parent = TopoNode(Level.CACHE, cache_id, parent=chip_node, name=f"l3#{cache_id}")
+                cache_id += 1
+            for _ in range(cores_per_chip):
+                TopoNode(Level.CORE, core_id, parent=parent)
+                core_id += 1
+    return Machine(spec, root)
+
+
+def from_counts(counts: Sequence[int], spec: MachineSpec) -> Machine:
+    """Build from a ``[nnuma, nchips_per_numa, ncores_per_chip]``-style list.
+
+    Lengths 1..3 are accepted: ``[8]`` is 8 cores on one chip, ``[4, 2]``
+    is 4 chips x 2 cores, ``[4, 1, 4]`` is 4 NUMA x 1 chip x 4 cores.
+    """
+    if not 1 <= len(counts) <= 3:
+        raise ValueError("counts must have 1..3 entries")
+    if len(counts) == 1:
+        return smp(1, counts[0], spec=spec)
+    if len(counts) == 2:
+        return smp(counts[0], counts[1], spec=spec)
+    return numa_machine(counts[0], counts[1], counts[2], spec=spec)
+
+
+def nehalem_ex_64() -> Machine:
+    """The machine the paper's introduction anticipates (§I): "Intel
+    announces the 8-core Nehalem-EX for late 2009.  An 8-way motherboard
+    with such processors will lead to 64 cores per node."
+
+    Eight NUMA nodes of eight cores sharing an L3, with kwak-calibrated
+    latency constants — the forward-scalability study's largest point.
+    """
+    spec = MachineSpec(
+        name="nehalem_ex_64",
+        local_ns=6,
+        cas_ns=12,
+        xfer_ns={Level.CACHE: 10, Level.MACHINE: 155},
+        contended_factor=25.0,
+        inval_ns={Level.CACHE: 120, Level.MACHINE: 160},
+    )
+    return numa_machine(8, 1, 8, shared_l3=True, spec=spec)
+
+
+#: Registry used by the bench CLI (``--machine kwak``).
+MACHINES = {
+    "borderline": borderline,
+    "kwak": kwak,
+    "nehalem_ex_64": nehalem_ex_64,
+}

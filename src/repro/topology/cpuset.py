@@ -1,0 +1,110 @@
+"""CPU sets.
+
+A :class:`CpuSet` is an immutable bitmask of core ids, mirroring
+``cpu_set_t`` / Marcel's vpsets.  The communication library attaches one to
+each task to restrict which cores may execute it (paper §III); PIOMan maps
+the set to the narrowest topology node whose core span covers it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class CpuSet:
+    """Immutable set of core ids backed by an int bitmask."""
+
+    __slots__ = ("mask",)
+
+    def __init__(self, cores: Iterable[int] | int = ()) -> None:
+        if isinstance(cores, int):
+            if cores < 0:
+                raise ValueError("mask must be non-negative")
+            self.mask = cores
+        else:
+            m = 0
+            for c in cores:
+                if c < 0:
+                    raise ValueError(f"negative core id {c}")
+                m |= 1 << c
+            self.mask = m
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def single(cls, core: int) -> "CpuSet":
+        """The set containing exactly one core."""
+        return cls(1 << core)
+
+    @classmethod
+    def range(cls, lo: int, hi: int) -> "CpuSet":
+        """Cores ``lo..hi-1`` (half-open, like :func:`range`)."""
+        if hi < lo:
+            raise ValueError("empty or inverted range")
+        return cls(((1 << (hi - lo)) - 1) << lo)
+
+    @classmethod
+    def all(cls, ncores: int) -> "CpuSet":
+        """The full set for a machine with ``ncores`` cores."""
+        return cls((1 << ncores) - 1)
+
+    # -- set algebra -----------------------------------------------------
+    def __or__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet(self.mask | other.mask)
+
+    def __and__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet(self.mask & other.mask)
+
+    def __sub__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet(self.mask & ~other.mask)
+
+    def __xor__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet(self.mask ^ other.mask)
+
+    def issubset(self, other: "CpuSet") -> bool:
+        return self.mask & ~other.mask == 0
+
+    def issuperset(self, other: "CpuSet") -> bool:
+        return other.mask & ~self.mask == 0
+
+    def intersects(self, other: "CpuSet") -> bool:
+        return bool(self.mask & other.mask)
+
+    def contains(self, core: int) -> bool:
+        return bool(self.mask >> core & 1)
+
+    __contains__ = contains
+
+    # -- inspection --------------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        m, i = self.mask, 0
+        while m:
+            if m & 1:
+                yield i
+            m >>= 1
+            i += 1
+
+    def __len__(self) -> int:
+        return self.mask.bit_count()
+
+    def __bool__(self) -> bool:
+        return self.mask != 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CpuSet) and self.mask == other.mask
+
+    def __hash__(self) -> int:
+        return hash(("CpuSet", self.mask))
+
+    def first(self) -> int:
+        """Lowest core id in the set (the set must be non-empty)."""
+        if not self.mask:
+            raise ValueError("empty CpuSet")
+        return (self.mask & -self.mask).bit_length() - 1
+
+    def __repr__(self) -> str:
+        return f"CpuSet({list(self)})"
+
+
+#: The empty CPU set (meaning "no restriction" is expressed by an explicit
+#: full set, never by emptiness — an empty set in a task is an error).
+EMPTY = CpuSet(0)

@@ -1,0 +1,105 @@
+"""QueueHierarchy: Fig. 2 mapping, routing, scan paths, collapsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hierarchy import QueueHierarchy
+from repro.sim.engine import Engine
+from repro.topology.builder import borderline, kwak, numa_machine, smp
+from repro.topology.cpuset import CpuSet
+from repro.topology.machine import Level
+
+
+def test_borderline_queue_count():
+    h = QueueHierarchy(borderline(), Engine())
+    # 8 per-core + 4 per-chip + 1 global
+    assert len(h.queues()) == 13
+
+
+def test_kwak_collapses_numa_cache_duplicates():
+    h = QueueHierarchy(kwak(), Engine())
+    # 16 per-core + 4 shared-L3 (NUMA level collapsed onto it) + 1 global
+    assert len(h.queues()) == 21
+    levels = {q.node.level for q in h.queues()}
+    assert Level.NUMA not in levels  # duplicate span removed
+    assert Level.CACHE in levels
+
+
+def test_root_queue_always_exists():
+    m = numa_machine(1, 1, 4)  # chain of duplicate spans above the cores
+    h = QueueHierarchy(m, Engine())
+    assert h.global_queue is not None
+    assert h.global_queue.node is m.root
+
+
+def test_scan_path_order_innermost_first():
+    m = kwak()
+    h = QueueHierarchy(m, Engine())
+    path = h.scan_path(5)
+    assert path[0].node.level == Level.CORE
+    assert path[0].node.index == 5
+    assert path[-1] is h.global_queue
+    levels = [q.node.level for q in path]
+    assert levels == sorted(levels)
+
+
+def test_routing_per_core():
+    m = borderline()
+    h = QueueHierarchy(m, Engine())
+    q = h.queue_for_cpuset(CpuSet.single(6))
+    assert q.node.level == Level.CORE and q.node.index == 6
+
+
+def test_routing_chip_and_global():
+    m = borderline()
+    h = QueueHierarchy(m, Engine())
+    assert h.queue_for_cpuset(CpuSet([2, 3])).node.level == Level.CHIP
+    assert h.queue_for_cpuset(CpuSet([0, 7])) is h.global_queue
+
+
+def test_flat_mode_routes_everything_to_global():
+    m = kwak()
+    h = QueueHierarchy(m, Engine(), hierarchical=False)
+    assert len(h.queues()) == 1
+    assert h.queue_for_cpuset(CpuSet.single(3)) is h.global_queue
+    assert h.scan_path(9) == [h.global_queue]
+
+
+def test_flat_mode_still_validates_cpuset():
+    m = borderline()
+    h = QueueHierarchy(m, Engine(), hierarchical=False)
+    with pytest.raises(ValueError):
+        h.queue_for_cpuset(CpuSet.single(40))
+
+
+def test_total_queued():
+    m = borderline()
+    h = QueueHierarchy(m, Engine())
+    assert h.total_queued() == 0
+
+
+def test_queue_of_node():
+    m = borderline()
+    h = QueueHierarchy(m, Engine())
+    assert h.queue_of_node(m.root) is h.global_queue
+    assert h.queue_of_node(m.core_nodes[2]).node.index == 2
+
+
+@given(st.data())
+def test_property_routing_covers_and_scanpath_reaches(data):
+    m = smp(2, 4)
+    h = QueueHierarchy(m, Engine())
+    cores = data.draw(
+        st.sets(st.integers(min_value=0, max_value=m.ncores - 1), min_size=1)
+    )
+    cpuset = CpuSet(cores)
+    q = h.queue_for_cpuset(cpuset)
+    # the queue's node covers the requested set
+    assert cpuset.issubset(q.node.cpuset)
+    # every allowed core reaches this queue through its scan path
+    for core in cores:
+        assert q in h.scan_path(core)
+    # no core outside the queue's span scans it
+    for core in range(m.ncores):
+        if not q.node.cpuset.contains(core):
+            assert q not in h.scan_path(core)

@@ -1,0 +1,63 @@
+"""Cross-configuration smoke: kwak clusters, true-spin mode, tracing."""
+
+from repro.bench.overlap import run_overlap_once
+from repro.cluster.cluster import Cluster
+from repro.mpi import MadMPI, MVAPICHLike
+from repro.sim.rng import Rng
+from repro.sim.trace import Tracer
+from repro.threads.scheduler import Scheduler
+from repro.topology import kwak
+
+
+def test_overlap_on_kwak_machines():
+    """The receiver-side separation holds on the 16-core NUMA host too."""
+    comp = 60_000
+    pioman = run_overlap_once(
+        MadMPI, "receiver", 32 * 1024, comp, machine_factory=kwak, reps=2
+    )
+    base = run_overlap_once(
+        MVAPICHLike, "receiver", 32 * 1024, comp, machine_factory=kwak, reps=2
+    )
+    assert pioman.ratio > base.ratio + 0.1
+    assert pioman.ratio > 0.85
+
+
+def test_mpi_roundtrip_under_true_spin():
+    """The literal spin-polling mode carries a full MPI exchange."""
+    cl = Cluster(2, seed=21)
+    for node in cl.nodes:
+        node.scheduler.true_spin = True
+    mpi = MadMPI(cl)
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    out = {}
+
+    def s(ctx):
+        yield from c0.send(ctx.core_id, 1, 0, 64 * 1024, payload=b"spin")
+
+    def r(ctx):
+        req = yield from c1.recv(ctx.core_id, 0, 0)
+        out["p"] = req.payload
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=100_000_000)
+    assert out["p"] == b"spin"
+
+
+def test_scheduler_trace_events():
+    tracer = Tracer(enabled=True)
+    cl = Cluster(2, seed=22, tracer=tracer)
+    mpi = MadMPI(cl)
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+
+    def s(ctx):
+        yield from c0.send(ctx.core_id, 1, 0, 64, payload=b"t")
+
+    def r(ctx):
+        yield from c1.recv(ctx.core_id, 0, 0)
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=100_000_000)
+    sched_events = [rec.message for rec in tracer.select("sched")]
+    assert any(m.startswith("finish") for m in sched_events)

@@ -1,0 +1,73 @@
+"""Chaos integration: collectives + point-to-point + storage, together.
+
+A 4-node run where every node simultaneously participates in an
+allreduce, exchanges point-to-point bursts with its ring neighbours, and
+(on node 0) streams blocks to an SSD — all progressed by the same PIOMan
+instances.  Repeated across seeds to shake out ordering races.
+"""
+
+import operator
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.mpi import MadMPI, collectives
+from repro.pioio import SSD, BlockDevice, PIOIo
+from repro.threads.instructions import Compute
+
+N = 4
+BURST = 3
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_mixed_workload_all_nodes(seed):
+    cl = Cluster(N, seed=seed)
+    mpi = MadMPI(cl)
+    device = BlockDevice(cl.engine, SSD)
+    aio = PIOIo(cl.nodes[0].pioman, device)
+    results = {}
+
+    def make(rank):
+        comm = mpi.comm(rank)
+        nxt, prv = (rank + 1) % N, (rank - 1) % N
+
+        def body(ctx):
+            # point-to-point burst with the ring neighbours
+            sends = []
+            for i in range(BURST):
+                r = yield from comm.isend(
+                    ctx.core_id, nxt, 100 + i, 8 * 1024, payload=(rank, i)
+                )
+                sends.append(r)
+            got = []
+            for i in range(BURST):
+                req = yield from comm.recv(ctx.core_id, prv, 100 + i)
+                got.append(req.payload)
+            yield from comm.waitall(ctx.core_id, sends)
+            # some computation, then a collective over everyone
+            yield Compute(20_000)
+            total = yield from collectives.allreduce(
+                comm, ctx.core_id, rank, N, rank + 1, operator.add
+            )
+            # node 0 also persists its burst to storage
+            if rank == 0:
+                ios = []
+                for i in range(BURST):
+                    w = yield from aio.aio_write(ctx.core_id, i * 8192, 8192)
+                    ios.append(w)
+                yield from aio.wait_all(ctx.core_id, ios)
+            results[rank] = (got, total)
+
+        return body
+
+    for r in range(N):
+        cl.nodes[r].scheduler.spawn(make(r), 0, name=f"rank{r}")
+    cl.run(until=2_000_000_000)
+
+    expect_total = N * (N + 1) // 2
+    assert set(results) == set(range(N))
+    for rank, (got, total) in results.items():
+        prv = (rank - 1) % N
+        assert got == [(prv, i) for i in range(BURST)]
+        assert total == expect_total
+    assert device.ops_completed == BURST

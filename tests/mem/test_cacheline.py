@@ -1,0 +1,118 @@
+"""Cache-line model: hit/miss costs, invalidation, async stores."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.cacheline import CacheLine, MemStats
+from repro.topology.builder import kwak
+
+
+def _line(home=0):
+    return CacheLine(kwak(), home=home, name="t")
+
+
+def test_initial_owner_reads_locally():
+    m = kwak()
+    line = CacheLine(m, home=3)
+    assert line.read(3) == m.spec.local_ns
+
+
+def test_remote_read_pays_transfer_then_hits():
+    m = kwak()
+    line = CacheLine(m, home=0)
+    first = line.read(15)
+    assert first == m.xfer(0, 15)
+    assert line.read(15) == m.spec.local_ns  # now shared
+
+
+def test_write_invalidates_sharers():
+    m = kwak()
+    line = CacheLine(m, home=0)
+    line.read(4)
+    line.read(8)
+    cost = line.write(0)
+    # owner holds a copy; pays the farthest invalidation ack
+    assert cost >= max(m.xfer(0, 4), m.xfer(0, 8))
+    # sharers gone: their next read misses again
+    assert line.read(4) == m.xfer(0, 4)
+
+
+def test_exclusive_write_is_local():
+    m = kwak()
+    line = CacheLine(m, home=2)
+    assert line.write(2) == m.spec.local_ns
+
+
+def test_write_by_non_sharer_fetches_first():
+    m = kwak()
+    line = CacheLine(m, home=0)
+    cost = line.write(12)
+    assert cost >= m.xfer(0, 12)
+    assert line.owner == 12 and line.sharers == {12}
+
+
+def test_write_async_charges_local_but_moves_ownership():
+    m = kwak()
+    line = CacheLine(m, home=0)
+    line.read(9)
+    cost = line.write_async(9)
+    assert cost == m.spec.local_ns
+    assert line.owner == 9 and line.sharers == {9}
+    # the displaced copy now misses
+    assert line.read(0) == m.xfer(9, 0)
+
+
+def test_rmw_adds_cas_cost():
+    m = kwak()
+    line = CacheLine(m, home=0)
+    assert line.rmw(0) == m.spec.local_ns + m.spec.cas_ns
+
+
+def test_stats_accumulate():
+    stats = MemStats()
+    m = kwak()
+    line = CacheLine(m, home=0, stats=stats)
+    line.read(1)
+    line.read(1)
+    line.write(2)
+    assert stats.reads == 2
+    assert stats.read_misses == 1 and stats.read_hits == 1
+    assert stats.writes == 1
+    assert stats.invalidations == 2  # cores 0 and 1 lost their copies
+
+
+def test_stats_merge():
+    a, b = MemStats(), MemStats()
+    a.reads, b.reads = 3, 4
+    a.transfer_ns_total, b.transfer_ns_total = 10, 20
+    merged = a.merge(b)
+    assert merged.reads == 7 and merged.transfer_ns_total == 30
+
+
+def test_shared_stats_object_across_lines():
+    stats = MemStats()
+    m = kwak()
+    l1 = CacheLine(m, home=0, stats=stats)
+    l2 = CacheLine(m, home=1, stats=stats)
+    l1.read(2)
+    l2.read(2)
+    assert stats.reads == 2
+
+
+@given(st.lists(st.tuples(st.sampled_from(["r", "w", "a"]),
+                          st.integers(min_value=0, max_value=15)),
+                min_size=1, max_size=60))
+def test_property_costs_positive_and_owner_consistent(ops):
+    m = kwak()
+    line = CacheLine(m, home=0)
+    for op, core in ops:
+        if op == "r":
+            cost = line.read(core)
+            assert core in line.sharers
+        elif op == "w":
+            cost = line.write(core)
+            assert line.owner == core and line.sharers == {core}
+        else:
+            cost = line.write_async(core)
+            assert line.owner == core and line.sharers == {core}
+        assert cost >= m.spec.local_ns
+        assert line.owner in line.sharers

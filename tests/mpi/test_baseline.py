@@ -1,0 +1,141 @@
+"""Baseline MPI models: correctness plus the two signature behaviours
+(progress only inside calls; RDMA-read rendezvous)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.mpi.baseline import MVAPICHLike, OpenMPILike
+from repro.threads.instructions import Compute
+
+
+def _world(impl=MVAPICHLike, nnodes=2):
+    cl = Cluster(nnodes, seed=4)
+    mpi = impl(cl)
+    return cl, mpi
+
+
+@pytest.mark.parametrize("impl", [MVAPICHLike, OpenMPILike])
+def test_eager_roundtrip(impl):
+    cl, mpi = _world(impl)
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    out = {}
+
+    def s(ctx):
+        yield from c0.send(ctx.core_id, 1, 0, 32, payload=b"base")
+
+    def r(ctx):
+        req = yield from c1.recv(ctx.core_id, 0, 0)
+        out["p"] = req.payload
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=50_000_000)
+    assert out["p"] == b"base"
+
+
+@pytest.mark.parametrize("impl", [MVAPICHLike, OpenMPILike])
+def test_rendezvous_uses_rdma_read(impl):
+    cl, mpi = _world(impl)
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    out = {}
+
+    def s(ctx):
+        req = yield from c0.isend(ctx.core_id, 1, 2, 256 * 1024, payload=b"R")
+        yield from c0.wait(ctx.core_id, req)
+        out["sent"] = True
+
+    def r(ctx):
+        req = yield from c1.irecv(ctx.core_id, 0, 2)
+        yield from c1.wait(ctx.core_id, req)
+        out["p"] = req.payload
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=500_000_000)
+    assert out["p"] == b"R" and out["sent"]
+    # the receiver pulled the body with an RDMA read from the sender NIC
+    assert mpi.states[1].nic.stats.rdma_reads_issued == 1
+    assert mpi.states[0].nic.stats.rdma_reads_served == 1
+
+
+def test_unexpected_eager():
+    cl, mpi = _world()
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    out = {}
+
+    def s(ctx):
+        yield from c0.send(ctx.core_id, 1, 5, 16, payload=b"early")
+
+    def r(ctx):
+        yield Compute(100_000)
+        req = yield from c1.recv(ctx.core_id, 0, 5)
+        out["p"] = req.payload
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=100_000_000)
+    assert out["p"] == b"early"
+
+
+def test_no_progress_while_receiver_computes():
+    """The baseline's defining flaw: an arrived RTS sits unhandled until
+    the receiver re-enters the library."""
+    cl, mpi = _world()
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    stamps = {}
+    size = 512 * 1024
+    compute_ns = 2_000_000
+
+    def s(ctx):
+        req = yield from c0.isend(ctx.core_id, 1, 1, size, payload=b"big")
+        yield from c0.wait(ctx.core_id, req)
+        stamps["send_done"] = ctx.now
+
+    def r(ctx):
+        req = yield from c1.irecv(ctx.core_id, 0, 1)
+        yield Compute(compute_ns)  # receiver busy: nothing progresses
+        t0 = ctx.now
+        yield from c1.wait(ctx.core_id, req)
+        stamps["wait_took"] = ctx.now - t0
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=1_000_000_000)
+    wire = size * 1000 // mpi.states[0].nic.driver.bytes_per_us
+    # the whole body still had to move after the compute finished
+    assert stamps["wait_took"] > 0.8 * wire
+    assert stamps["send_done"] > compute_ns
+
+
+def test_fifo_ordering_per_flow():
+    cl, mpi = _world()
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    got = []
+
+    def s(ctx):
+        for i in range(5):
+            yield from c0.send(ctx.core_id, 1, 3, 16, payload=i)
+
+    def r(ctx):
+        for _ in range(5):
+            req = yield from c1.recv(ctx.core_id, 0, 3)
+            got.append(req.payload)
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=200_000_000)
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_openmpi_marked_mt_unstable():
+    assert OpenMPILike.mt_stable is False
+    assert MVAPICHLike.mt_stable is True
+
+
+def test_eager_thresholds_differ():
+    assert MVAPICHLike.eager_threshold != OpenMPILike.eager_threshold
+
+
+def test_global_lock_is_per_node():
+    cl, mpi = _world()
+    assert mpi.states[0].lock is not mpi.states[1].lock

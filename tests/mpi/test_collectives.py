@@ -1,0 +1,229 @@
+"""Collectives: correctness across rank counts, roots and backends."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.mpi import MadMPI, MVAPICHLike, collectives
+
+
+def _run_collective(nranks, body_factory, impl=MadMPI, until=2_000_000_000, seed=5):
+    """Spawn one main thread per rank running body_factory(rank, comm)."""
+    cl = Cluster(nranks, seed=seed)
+    mpi = impl(cl)
+    results = {}
+
+    def make(rank):
+        comm = mpi.comm(rank)
+
+        def body(ctx):
+            res = yield from body_factory(ctx, rank, comm)
+            results[rank] = res
+
+        return body
+
+    for r in range(nranks):
+        cl.nodes[r].scheduler.spawn(make(r), 0, name=f"rank{r}")
+    cl.run(until=until)
+    assert len(results) == nranks, f"only {sorted(results)} finished"
+    return results
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4, 5, 8])
+def test_barrier_completes(nranks):
+    def body(ctx, rank, comm):
+        yield from collectives.barrier(comm, ctx.core_id, rank, nranks)
+        return ctx.now
+
+    results = _run_collective(nranks, body)
+    assert len(results) == nranks
+
+
+def test_barrier_actually_synchronizes():
+    """A rank that enters late must hold everyone back."""
+    from repro.threads.instructions import Compute
+
+    nranks = 4
+    LATE = 500_000
+
+    def body(ctx, rank, comm):
+        if rank == 2:
+            yield Compute(LATE)
+        yield from collectives.barrier(comm, ctx.core_id, rank, nranks)
+        return ctx.now
+
+    results = _run_collective(nranks, body)
+    assert min(results.values()) >= LATE
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 7, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_delivers_to_all(nranks, root):
+    if root >= nranks:
+        pytest.skip("root outside communicator")
+
+    def body(ctx, rank, comm):
+        value = ("payload", 42) if rank == root else None
+        res = yield from collectives.bcast(
+            comm, ctx.core_id, rank, nranks, value, root=root
+        )
+        return res
+
+    results = _run_collective(nranks, body)
+    assert all(v == ("payload", 42) for v in results.values())
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 6, 8])
+def test_reduce_sums_on_root(nranks):
+    def body(ctx, rank, comm):
+        res = yield from collectives.reduce(
+            comm, ctx.core_id, rank, nranks, rank + 1, operator.add
+        )
+        return res
+
+    results = _run_collective(nranks, body)
+    expect = nranks * (nranks + 1) // 2
+    assert results[0] == expect
+    assert all(v is None for r, v in results.items() if r != 0)
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 8])
+def test_allreduce_everyone_gets_result(nranks):
+    def body(ctx, rank, comm):
+        res = yield from collectives.allreduce(
+            comm, ctx.core_id, rank, nranks, rank + 1, operator.add
+        )
+        return res
+
+    results = _run_collective(nranks, body)
+    expect = nranks * (nranks + 1) // 2
+    assert all(v == expect for v in results.values())
+
+
+def test_allreduce_max():
+    nranks = 5
+
+    def body(ctx, rank, comm):
+        res = yield from collectives.allreduce(
+            comm, ctx.core_id, rank, nranks, (rank * 7) % 5, max
+        )
+        return res
+
+    results = _run_collective(nranks, body)
+    assert set(results.values()) == {4}
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 6])
+def test_gather_ordered_by_rank(nranks):
+    def body(ctx, rank, comm):
+        res = yield from collectives.gather(
+            comm, ctx.core_id, rank, nranks, f"r{rank}"
+        )
+        return res
+
+    results = _run_collective(nranks, body)
+    assert results[0] == [f"r{i}" for i in range(nranks)]
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 5])
+def test_scatter_each_gets_own_slot(nranks):
+    def body(ctx, rank, comm):
+        values = [f"v{i}" for i in range(nranks)] if rank == 0 else None
+        res = yield from collectives.scatter(
+            comm, ctx.core_id, rank, nranks, values
+        )
+        return res
+
+    results = _run_collective(nranks, body)
+    assert results == {r: f"v{r}" for r in range(nranks)}
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4])
+def test_alltoall_full_exchange(nranks):
+    def body(ctx, rank, comm):
+        values = [(rank, dst) for dst in range(nranks)]
+        res = yield from collectives.alltoall(
+            comm, ctx.core_id, rank, nranks, values
+        )
+        return res
+
+    results = _run_collective(nranks, body)
+    for r in range(nranks):
+        assert results[r] == [(src, r) for src in range(nranks)]
+
+
+def test_collectives_work_over_baseline_mpi():
+    nranks = 4
+
+    def body(ctx, rank, comm):
+        res = yield from collectives.allreduce(
+            comm, ctx.core_id, rank, nranks, rank, operator.add
+        )
+        return res
+
+    results = _run_collective(nranks, body, impl=MVAPICHLike)
+    assert all(v == 6 for v in results.values())
+
+
+def test_back_to_back_barriers():
+    nranks = 4
+
+    def body(ctx, rank, comm):
+        for _ in range(3):
+            yield from collectives.barrier(comm, ctx.core_id, rank, nranks)
+        return True
+
+    results = _run_collective(nranks, body)
+    assert all(results.values())
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=6),
+    values=st.lists(st.integers(min_value=-100, max_value=100), min_size=6, max_size=6),
+)
+def test_property_allreduce_matches_local_sum(nranks, values):
+    vals = values[:nranks]
+
+    def body(ctx, rank, comm):
+        res = yield from collectives.allreduce(
+            comm, ctx.core_id, rank, nranks, vals[rank], operator.add
+        )
+        return res
+
+    results = _run_collective(nranks, body)
+    assert all(v == sum(vals) for v in results.values())
+
+
+def test_two_collectives_with_distinct_ctxtags():
+    """Concurrent collective 'contexts' do not cross-match."""
+    nranks = 4
+
+    def body(ctx, rank, comm):
+        a = yield from collectives.allreduce(
+            comm, ctx.core_id, rank, nranks, rank, operator.add, ctxtag=20
+        )
+        b = yield from collectives.allreduce(
+            comm, ctx.core_id, rank, nranks, rank * 10, operator.add, ctxtag=40
+        )
+        return (a, b)
+
+    results = _run_collective(nranks, body)
+    assert all(v == (6, 60) for v in results.values())
+
+
+def test_bcast_of_large_payload_uses_rendezvous():
+    nranks = 3
+    big = 512 * 1024
+
+    def body(ctx, rank, comm):
+        value = b"B" * 64 if rank == 0 else None
+        res = yield from collectives.bcast(
+            comm, ctx.core_id, rank, nranks, value, size=big
+        )
+        return res
+
+    results = _run_collective(nranks, body)
+    assert all(v == b"B" * 64 for v in results.values())

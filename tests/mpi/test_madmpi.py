@@ -1,0 +1,126 @@
+"""Mad-MPI: API semantics over the simulated cluster."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.mpi.madmpi import ANY_SOURCE, ANY_TAG, MadMPI
+from repro.threads.instructions import Compute
+
+
+def _world(nnodes=2, **kw):
+    cl = Cluster(nnodes, seed=3)
+    mpi = MadMPI(cl, **kw)
+    return cl, mpi
+
+
+def test_blocking_send_recv():
+    cl, mpi = _world()
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    out = {}
+
+    def s(ctx):
+        yield from c0.send(ctx.core_id, 1, 0, 32, payload=b"msg")
+
+    def r(ctx):
+        req = yield from c1.recv(ctx.core_id, 0, 0)
+        out["p"] = req.payload
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=50_000_000)
+    assert out["p"] == b"msg"
+
+
+def test_isend_irecv_wait():
+    cl, mpi = _world()
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    out = {}
+
+    def s(ctx):
+        req = yield from c0.isend(ctx.core_id, 1, 7, 64 * 1024, payload=b"nb")
+        yield Compute(5_000)
+        yield from c0.wait(ctx.core_id, req)
+        out["send_done"] = True
+
+    def r(ctx):
+        req = yield from c1.irecv(ctx.core_id, 0, 7)
+        yield from c1.wait(ctx.core_id, req)
+        out["p"] = req.payload
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=100_000_000)
+    assert out == {"send_done": True, "p": b"nb"}
+
+
+def test_wildcards_reexported():
+    cl, mpi = _world()
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    out = {}
+
+    def s(ctx):
+        yield from c0.send(ctx.core_id, 1, 9, 8, payload=b"x")
+
+    def r(ctx):
+        req = yield from c1.recv(ctx.core_id, ANY_SOURCE, ANY_TAG)
+        out["src"], out["tag"] = req.src, req.recv_tag
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=50_000_000)
+    assert out == {"src": 0, "tag": 9}
+
+
+def test_three_rank_ring():
+    cl, mpi = _world(nnodes=3)
+    comms = [mpi.comm(r) for r in range(3)]
+    hops = []
+
+    def make(rank):
+        def body(ctx):
+            nxt, prv = (rank + 1) % 3, (rank - 1) % 3
+            if rank == 0:
+                yield from comms[0].send(ctx.core_id, nxt, 0, 16, payload=[0])
+                req = yield from comms[0].recv(ctx.core_id, prv, 0)
+                hops.append(req.payload)
+            else:
+                req = yield from comms[rank].recv(ctx.core_id, prv, 0)
+                yield from comms[rank].send(
+                    ctx.core_id, nxt, 0, 16, payload=req.payload + [rank]
+                )
+
+        return body
+
+    for r in range(3):
+        cl.nodes[r].scheduler.spawn(make(r), 0)
+    cl.run(until=100_000_000)
+    assert hops == [[0, 1, 2]]
+
+
+def test_mt_stable_flag():
+    assert MadMPI.mt_stable is True
+    assert MadMPI.name == "PIOMan"
+
+
+def test_many_threads_per_node():
+    """8 receiver threads across cores, each gets its tagged message."""
+    cl, mpi = _world()
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    got = {}
+
+    def sender(ctx):
+        for tid in range(8):
+            yield from c0.send(ctx.core_id, 1, tid, 8, payload=tid * 10)
+
+    def recv_body(tid):
+        def body(ctx):
+            req = yield from c1.recv(ctx.core_id, 0, tid)
+            got[tid] = req.payload
+
+        return body
+
+    for tid in range(8):
+        cl.nodes[1].scheduler.spawn(recv_body(tid), tid % 8, name=f"r{tid}")
+    cl.nodes[0].scheduler.spawn(sender, 0)
+    cl.run(until=200_000_000)
+    assert got == {tid: tid * 10 for tid in range(8)}

@@ -1,0 +1,172 @@
+"""test / waitall / waitany / sendrecv across both MPI backends."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.mpi import MadMPI, MVAPICHLike
+from repro.threads.instructions import Compute
+
+
+def _pair(impl=MadMPI, seed=7):
+    cl = Cluster(2, seed=seed)
+    mpi = impl(cl)
+    return cl, mpi.comm(0), mpi.comm(1)
+
+
+@pytest.mark.parametrize("impl", [MadMPI, MVAPICHLike])
+def test_test_reports_completion(impl):
+    cl, c0, c1 = _pair(impl)
+    out = {}
+
+    def s(ctx):
+        req = yield from c0.isend(ctx.core_id, 1, 0, 64, payload=b"x")
+        # eager send completes quickly; poll until test() says done
+        for _ in range(200):
+            done = yield from c0.test(ctx.core_id, req)
+            if done:
+                out["tested_done"] = True
+                return
+            yield Compute(1_000)
+
+    def r(ctx):
+        req = yield from c1.recv(ctx.core_id, 0, 0)
+        out["recv"] = req.payload
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=100_000_000)
+    assert out.get("tested_done") and out["recv"] == b"x"
+
+
+def test_test_is_nonblocking_before_completion():
+    cl, c0, c1 = _pair()
+    out = {}
+
+    def s(ctx):
+        req = yield from c0.isend(ctx.core_id, 1, 0, 256 * 1024, payload=b"big")
+        t0 = ctx.now
+        done = yield from c0.test(ctx.core_id, req)
+        out["first_test"] = done
+        out["test_cost"] = ctx.now - t0
+        yield from c0.wait(ctx.core_id, req)
+
+    def r(ctx):
+        yield Compute(50_000)  # ensure the rendezvous is still in flight
+        yield from c1.recv(ctx.core_id, 0, 0)
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=500_000_000)
+    assert out["first_test"] is False
+    assert out["test_cost"] < 5_000
+
+
+@pytest.mark.parametrize("impl", [MadMPI, MVAPICHLike])
+def test_waitall(impl):
+    cl, c0, c1 = _pair(impl)
+    out = {}
+
+    def s(ctx):
+        reqs = []
+        for i in range(5):
+            r = yield from c0.isend(ctx.core_id, 1, i, 2_000, payload=i)
+            reqs.append(r)
+        yield from c0.waitall(ctx.core_id, reqs)
+        out["all_sent"] = True
+
+    def r(ctx):
+        vals = []
+        for i in range(5):
+            req = yield from c1.recv(ctx.core_id, 0, i)
+            vals.append(req.payload)
+        out["vals"] = vals
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=200_000_000)
+    assert out["all_sent"] and out["vals"] == list(range(5))
+
+
+@pytest.mark.parametrize("impl", [MadMPI, MVAPICHLike])
+def test_waitany_returns_first_completed(impl):
+    cl, c0, c1 = _pair(impl)
+    out = {}
+
+    def r(ctx):
+        # two receives; the sender answers tag 1 first, tag 0 much later
+        reqs = []
+        for tag in (0, 1):
+            req = yield from c1.irecv(ctx.core_id, 0, tag)
+            reqs.append(req)
+        idx = yield from c1.waitany(ctx.core_id, reqs)
+        out["first_idx"] = idx
+        out["first_at"] = ctx.now
+        yield from c1.waitall(ctx.core_id, reqs)
+        out["all_at"] = ctx.now
+
+    def s(ctx):
+        yield from c0.send(ctx.core_id, 1, 1, 64, payload=b"fast")
+        yield Compute(300_000)
+        yield from c0.send(ctx.core_id, 1, 0, 64, payload=b"slow")
+
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.run(until=200_000_000)
+    assert out["first_idx"] == 1
+    assert out["all_at"] - out["first_at"] > 200_000
+
+
+def test_waitany_immediate_when_already_done():
+    cl, c0, c1 = _pair()
+    out = {}
+
+    def r(ctx):
+        req = yield from c1.irecv(ctx.core_id, 0, 0)
+        yield from c1.wait(ctx.core_id, req)  # complete it first
+        idx = yield from c1.waitany(ctx.core_id, [req])
+        out["idx"] = idx
+
+    def s(ctx):
+        yield from c0.send(ctx.core_id, 1, 0, 16, payload=b"z")
+
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.run(until=100_000_000)
+    assert out["idx"] == 0
+
+
+def test_waitany_rejects_empty():
+    cl, c0, c1 = _pair()
+
+    def r(ctx):
+        yield from c1.waitany(ctx.core_id, [])
+
+    cl.nodes[1].scheduler.spawn(r, 0)
+    with pytest.raises(ValueError):
+        cl.run(until=10_000_000)
+
+
+@pytest.mark.parametrize("impl", [MadMPI, MVAPICHLike])
+def test_sendrecv_crossing(impl):
+    """Two ranks sendrecv to each other simultaneously: deadlock-free."""
+    cl = Cluster(2, seed=8)
+    mpi = impl(cl)
+    out = {}
+
+    def make(rank):
+        comm = mpi.comm(rank)
+        peer = 1 - rank
+
+        def body(ctx):
+            req = yield from comm.sendrecv(
+                ctx.core_id, peer, 0, 128 * 1024, peer, 0,
+                payload=("from", rank),
+            )
+            out[rank] = req.payload
+
+        return body
+
+    for r in range(2):
+        cl.nodes[r].scheduler.spawn(make(r), 0)
+    cl.run(until=500_000_000)
+    assert out == {0: ("from", 1), 1: ("from", 0)}

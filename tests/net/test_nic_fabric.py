@@ -1,0 +1,179 @@
+"""NIC + fabric: wire timing, serialization, RDMA, CQ, multirail routing."""
+
+import pytest
+
+from repro.net.driver import DRIVERS, IB_CONNECTX, MYRI10G_MX, TCP_ETH, DriverSpec
+from repro.net.fabric import Fabric
+from repro.net.frame import Completion, Frame
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+
+
+def _pair(driver=IB_CONNECTX, jitterless=True):
+    eng = Engine()
+    fabric = Fabric(eng, rng=Rng(1))
+    if jitterless:
+        driver = DriverSpec(**{**driver.__dict__, "jitter": 0.0})
+    a = fabric.new_nic(0, driver)
+    b = fabric.new_nic(1, driver)
+    return eng, fabric, a, b
+
+
+# ------------------------------------------------------------- drivers
+def test_driver_registry():
+    assert set(DRIVERS) == {"ibverbs", "mx", "elan", "tcp"}
+    assert DRIVERS["ibverbs"].rdma and not DRIVERS["mx"].rdma
+
+
+def test_wire_ns_scales_with_size():
+    d = IB_CONNECTX
+    assert d.wire_ns(1024 * 1024) > d.wire_ns(4) > d.latency_ns
+
+
+def test_tcp_much_slower_than_ib():
+    assert TCP_ETH.wire_ns(4) > 10 * IB_CONNECTX.wire_ns(4)
+
+
+# ------------------------------------------------------------- delivery
+def test_frame_delivery_and_cq():
+    eng, fabric, a, b = _pair()
+    frame = Frame("eager", 0, 1, 4, meta={"x": 1})
+    a.post_send(frame)
+    eng.run()
+    comps = b.poll()
+    assert len(comps) == 1
+    assert comps[0].kind == "recv" and comps[0].frame.meta == {"x": 1}
+    assert frame.delivered_at == eng.now
+    assert b.poll() == []  # drained
+    assert b.stats.polls == 2 and b.stats.empty_polls == 1
+
+
+def test_delivery_time_matches_wire_model():
+    eng, fabric, a, b = _pair()
+    size = 64 * 1024
+    a.post_send(Frame("data", 0, 1, size))
+    eng.run()
+    assert eng.now == a.driver.wire_ns(size)
+
+
+def test_send_done_completion_optional():
+    eng, fabric, a, b = _pair()
+    a.post_send(Frame("eager", 0, 1, 4), signal_done=True)
+    eng.run()
+    kinds = [c.kind for c in a.poll()]
+    assert kinds == ["send_done"]
+
+
+def test_tx_serialization_back_to_back():
+    """Two large frames posted together: the second queues behind the
+    first's serialization time."""
+    eng, fabric, a, b = _pair()
+    size = 1024 * 1024
+    a.post_send(Frame("data", 0, 1, size))
+    a.post_send(Frame("data", 0, 1, size))
+    eng.run()
+    arrivals = [c.frame.delivered_at for c in b.poll()]
+    per_frame = (size + a.driver.frame_overhead_bytes) * 1000 // a.driver.bytes_per_us
+    assert arrivals[1] - arrivals[0] >= per_frame * 0.95
+
+
+def test_tx_idle_flag():
+    eng, fabric, a, b = _pair()
+    assert a.tx_idle()
+    a.post_send(Frame("data", 0, 1, 1024 * 1024))
+    assert not a.tx_idle()
+    eng.run()
+    assert a.tx_idle()
+
+
+def test_fifo_per_rail_ordering():
+    eng, fabric, a, b = _pair()
+    for i in range(5):
+        a.post_send(Frame("eager", 0, 1, 128, meta={"i": i}))
+    eng.run()
+    order = [c.frame.meta["i"] for c in b.poll()]
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_cq_listener_fires():
+    eng, fabric, a, b = _pair()
+    hits = []
+    b.on_cq_write = lambda nic, comp: hits.append((nic.name, comp.kind))
+    a.post_send(Frame("eager", 0, 1, 4))
+    eng.run()
+    assert hits == [(b.name, "recv")]
+
+
+def test_poll_max_entries():
+    eng, fabric, a, b = _pair()
+    for _ in range(4):
+        a.post_send(Frame("eager", 0, 1, 4))
+    eng.run()
+    first = b.poll(max_entries=3)
+    assert len(first) == 3 and b.cq_depth() == 1
+
+
+# ------------------------------------------------------------- RDMA
+def test_rdma_read_completes_on_initiator():
+    eng, fabric, a, b = _pair()
+    b.rdma_read(a, 256 * 1024, meta="m1")
+    eng.run()
+    kinds_b = [c.kind for c in b.poll()]
+    kinds_a = [c.kind for c in a.poll()]
+    assert kinds_b == ["rdma_done"]
+    assert kinds_a == ["rdma_served"]
+    assert a.stats.rdma_reads_served == 1
+    assert b.stats.rdma_reads_issued == 1
+
+
+def test_rdma_read_time_includes_request_latency():
+    eng, fabric, a, b = _pair()
+    size = 1024 * 1024
+    b.rdma_read(a, size)
+    eng.run()
+    expect_min = a.driver.latency_ns + size * 1000 // a.driver.bytes_per_us
+    assert eng.now >= expect_min
+
+
+def test_rdma_requires_capable_driver():
+    eng = Engine()
+    fabric = Fabric(eng, rng=Rng(1))
+    a = fabric.new_nic(0, MYRI10G_MX)
+    b = fabric.new_nic(1, MYRI10G_MX)
+    with pytest.raises(RuntimeError):
+        a.rdma_read(b, 100)
+
+
+# ------------------------------------------------------------- fabric
+def test_duplicate_nic_rejected():
+    eng = Engine()
+    fabric = Fabric(eng)
+    fabric.new_nic(0, IB_CONNECTX)
+    with pytest.raises(ValueError):
+        fabric.new_nic(0, IB_CONNECTX)
+
+
+def test_peer_nic_routes_same_rail():
+    eng = Engine()
+    fabric = Fabric(eng)
+    ib0 = fabric.new_nic(0, IB_CONNECTX, index=0)
+    mx0 = fabric.new_nic(0, MYRI10G_MX, index=1)
+    ib1 = fabric.new_nic(1, IB_CONNECTX, index=0)
+    mx1 = fabric.new_nic(1, MYRI10G_MX, index=1)
+    assert fabric.peer_nic(ib0, 1) is ib1
+    assert fabric.peer_nic(mx0, 1) is mx1
+
+
+def test_self_addressed_frame_rejected():
+    eng, fabric, a, b = _pair()
+    with pytest.raises(ValueError):
+        a.post_send(Frame("eager", 0, 0, 4))
+
+
+def test_byte_counters():
+    eng, fabric, a, b = _pair()
+    a.post_send(Frame("eager", 0, 1, 1000))
+    eng.run()
+    b.poll()
+    assert a.stats.bytes_sent == 1000
+    assert b.stats.bytes_recv == 1000

@@ -1,0 +1,73 @@
+"""Data filters on slow networks (paper §IV-B closing idea)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.net.driver import IB_CONNECTX, TCP_ETH
+from repro.nmad.filters import FILTERS, LZO_FAST, ZLIB, DataFilter
+from repro.nmad.library import NMad
+
+
+def _run(drivers, data_filter, size, until=2_000_000_000):
+    cl = Cluster(2, drivers=drivers, seed=6)
+    n0 = NMad(cl.nodes[0], data_filter=data_filter)
+    n1 = NMad(cl.nodes[1], data_filter=data_filter)
+    out = {}
+
+    def s(ctx):
+        req = yield from n0.isend(ctx.core_id, 1, 0, size, payload=b"payload")
+        yield from n0.wait(ctx.core_id, req)
+
+    def r(ctx):
+        req = yield from n1.recv(ctx.core_id, 0, 0)
+        out["payload"] = req.payload
+        out["size"] = req.size
+        out["t"] = ctx.now
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=until)
+    assert "t" in out, "transfer stalled"
+    return out, cl
+
+
+def test_filter_validates_ratio():
+    with pytest.raises(ValueError):
+        DataFilter(name="bad", ratio=1.5, encode_ns_per_kb=1, decode_ns_per_kb=1)
+
+
+def test_filter_presets_registered():
+    assert FILTERS["lzo-fast"] is LZO_FAST and FILTERS["zlib"] is ZLIB
+
+
+def test_applies_logic():
+    assert LZO_FAST.applies(1024 * 1024, TCP_ETH.bytes_per_us)
+    assert not LZO_FAST.applies(1024, TCP_ETH.bytes_per_us)  # too small
+    assert not LZO_FAST.applies(1024 * 1024, IB_CONNECTX.bytes_per_us)  # fast rail
+
+
+def test_compression_speeds_up_slow_network():
+    size = 1024 * 1024
+    plain, _ = _run((TCP_ETH,), None, size)
+    packed, cl = _run((TCP_ETH,), LZO_FAST, size)
+    assert packed["payload"] == b"payload" and packed["size"] == size
+    # halving the bytes roughly halves a bandwidth-bound transfer
+    assert packed["t"] < 0.7 * plain["t"]
+    # the encode ran as a PIOMan task (visible in stats)
+    execs = cl.nodes[0].pioman.stats.executions
+    assert execs >= 1
+
+
+def test_rendezvous_body_filtered_and_reassembled():
+    size = 2 * 1024 * 1024  # rdv path
+    out, _ = _run((TCP_ETH,), ZLIB, size)
+    assert out["size"] == size and out["payload"] == b"payload"
+
+
+def test_fast_rail_never_filters():
+    size = 1024 * 1024
+    out, cl = _run((IB_CONNECTX,), LZO_FAST, size)
+    assert out["size"] == size
+    sent = cl.nodes[0].nic_by_driver("ibverbs").stats.bytes_sent
+    # full body went on the wire uncompressed
+    assert sent >= size

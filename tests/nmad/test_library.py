@@ -1,0 +1,312 @@
+"""NewMadeleine end-to-end: eager & rendezvous protocols, matching,
+wildcards, payload integrity, offload accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.net.driver import IB_CONNECTX, MYRI10G_MX
+from repro.nmad.library import NMad
+from repro.nmad.requests import ANY, ReqState
+from repro.nmad.strategies import StratDefault
+from repro.threads.instructions import Compute
+
+
+def _cluster(nnodes=2, drivers=(IB_CONNECTX,), **nmad_kw):
+    cl = Cluster(nnodes, drivers=drivers, seed=2)
+    nmads = [NMad(node, **nmad_kw) for node in cl.nodes]
+    return cl, nmads
+
+
+def _run_pair(sender_body, receiver_body, drivers=(IB_CONNECTX,), until=200_000_000, **kw):
+    cl, (n0, n1) = _cluster(drivers=drivers, **kw)
+    out = {}
+    cl.nodes[0].scheduler.spawn(lambda ctx: sender_body(ctx, n0, out), 0, name="s")
+    cl.nodes[1].scheduler.spawn(lambda ctx: receiver_body(ctx, n1, out), 0, name="r")
+    cl.run(until=until)
+    return cl, out
+
+
+def test_eager_roundtrip_payload():
+    def s(ctx, nm, out):
+        req = yield from nm.send(ctx.core_id, 1, 5, 64, payload=b"hello")
+        out["send_state"] = req.state
+
+    def r(ctx, nm, out):
+        req = yield from nm.recv(ctx.core_id, 0, 5)
+        out["payload"] = req.payload
+        out["src"] = req.src
+        out["size"] = req.size
+
+    cl, out = _run_pair(s, r)
+    assert out["payload"] == b"hello"
+    assert out["src"] == 0 and out["size"] == 64
+    assert out["send_state"] is ReqState.COMPLETE
+
+
+def test_rendezvous_roundtrip_payload():
+    def s(ctx, nm, out):
+        req = yield from nm.send(ctx.core_id, 1, 9, 512 * 1024, payload=b"BIG")
+        out["protocol"] = req.protocol
+
+    def r(ctx, nm, out):
+        req = yield from nm.recv(ctx.core_id, 0, 9)
+        out["payload"] = req.payload
+        out["size"] = req.size
+
+    cl, out = _run_pair(s, r)
+    assert out["protocol"] == "rdv"
+    assert out["payload"] == b"BIG" and out["size"] == 512 * 1024
+
+
+def test_unexpected_eager_matched_by_later_irecv():
+    def s(ctx, nm, out):
+        yield from nm.send(ctx.core_id, 1, 3, 16, payload=b"early")
+
+    def r(ctx, nm, out):
+        # a dangling receive on another tag keeps the polling task alive,
+        # so the tag-3 eager is drained into the unexpected queue while
+        # this thread computes
+        yield from nm.irecv(ctx.core_id, 0, 8)
+        yield Compute(100_000)
+        req = yield from nm.recv(ctx.core_id, 0, 3)
+        out["payload"] = req.payload
+        out["hits"] = nm.stats.unexpected_hits
+
+    cl, out = _run_pair(s, r)
+    assert out["payload"] == b"early"
+    assert out["hits"] == 1
+
+
+def test_unexpected_rts_matched_by_later_irecv():
+    def s(ctx, nm, out):
+        yield from nm.send(ctx.core_id, 1, 3, 256 * 1024, payload=b"R")
+
+    def r(ctx, nm, out):
+        yield from nm.irecv(ctx.core_id, 0, 8)  # keep polling alive
+        yield Compute(80_000)
+        req = yield from nm.recv(ctx.core_id, 0, 3)
+        out["payload"] = req.payload
+        out["hits"] = nm.stats.unexpected_hits
+
+    cl, out = _run_pair(s, r)
+    assert out["payload"] == b"R"
+    assert out["hits"] == 1
+
+
+def test_wildcard_source_and_tag():
+    def s(ctx, nm, out):
+        yield from nm.send(ctx.core_id, 1, 42, 8, payload=b"w")
+
+    def r(ctx, nm, out):
+        req = yield from nm.recv(ctx.core_id, ANY, ANY)
+        out["tag"] = req.recv_tag
+        out["src"] = req.src
+
+    cl, out = _run_pair(s, r)
+    assert out["tag"] == 42 and out["src"] == 0
+
+
+def test_send_requires_concrete_peer_and_tag():
+    cl, (n0, n1) = _cluster()
+
+    def s(ctx):
+        yield from n0.isend(ctx.core_id, ANY, 1, 8)
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    with pytest.raises(ValueError):
+        cl.run()
+
+
+def test_per_flow_fifo_ordering():
+    """Messages on one (peer, tag) flow arrive in send order."""
+    got = []
+
+    def s(ctx, nm, out):
+        for i in range(6):
+            yield from nm.send(ctx.core_id, 1, 7, 32, payload=i)
+
+    def r(ctx, nm, out):
+        for _ in range(6):
+            req = yield from nm.recv(ctx.core_id, 0, 7)
+            got.append(req.payload)
+
+    _run_pair(s, r)
+    assert got == list(range(6))
+
+
+def test_interleaved_tags_match_correctly():
+    results = {}
+
+    def s(ctx, nm, out):
+        yield from nm.send(ctx.core_id, 1, 1, 16, payload=b"one")
+        yield from nm.send(ctx.core_id, 1, 2, 16, payload=b"two")
+
+    def r(ctx, nm, out):
+        # receive in the opposite tag order
+        r2 = yield from nm.recv(ctx.core_id, 0, 2)
+        r1 = yield from nm.recv(ctx.core_id, 0, 1)
+        results["r1"], results["r2"] = r1.payload, r2.payload
+
+    _run_pair(s, r)
+    assert results == {"r1": b"one", "r2": b"two"}
+
+
+def test_multirail_split_reassembles():
+    """A large body over IB+MX rails arrives whole."""
+
+    def s(ctx, nm, out):
+        req = yield from nm.send(ctx.core_id, 1, 4, 1024 * 1024, payload=b"XL")
+        out["chunks"] = nm.gates[1].stats.split_chunks
+
+    def r(ctx, nm, out):
+        req = yield from nm.recv(ctx.core_id, 0, 4)
+        out["payload"] = req.payload
+        out["size"] = req.size
+        out["seen"] = req.chunks_seen
+
+    cl, out = _run_pair(s, r, drivers=(IB_CONNECTX, MYRI10G_MX))
+    assert out["payload"] == b"XL" and out["size"] == 1024 * 1024
+    assert out["chunks"] == 2 and out["seen"] == 2
+
+
+def test_submission_offload_counters():
+    def s(ctx, nm, out):
+        yield from nm.send(ctx.core_id, 1, 5, 32, payload=b"x")
+        out["idle"] = nm.stats.submit_offloads_idle
+        out["glob"] = nm.stats.submit_offloads_global
+
+    def r(ctx, nm, out):
+        yield from nm.recv(ctx.core_id, 0, 5)
+
+    cl, out = _run_pair(s, r)
+    # with 7 idle cores on the node, offload must have found one
+    assert out["idle"] >= 1 and out["glob"] == 0
+
+
+def test_no_offload_mode_posts_inline():
+    def s(ctx, nm, out):
+        yield from nm.send(ctx.core_id, 1, 5, 32, payload=b"x")
+        out["idle"] = nm.stats.submit_offloads_idle
+
+    def r(ctx, nm, out):
+        yield from nm.recv(ctx.core_id, 0, 5)
+
+    cl, out = _run_pair(s, r, offload_submission=False)
+    assert out["idle"] == 0
+
+
+def test_poll_task_self_retires():
+    cl, (n0, n1) = _cluster()
+    done = {}
+
+    def s(ctx):
+        yield from n0.send(ctx.core_id, 1, 5, 16, payload=b"x")
+        done["sent"] = True
+
+    def r(ctx):
+        yield from n1.recv(ctx.core_id, 0, 5)
+        done["recv"] = True
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=100_000_000)
+    assert done == {"sent": True, "recv": True}
+    assert n0.pending_ops == 0 and n1.pending_ops == 0
+    # the repeat polling tasks retired themselves
+    assert all(t is None for t in n0._poll_tasks.values())
+    assert all(t is None for t in n1._poll_tasks.values())
+
+
+def test_stats_protocol_split():
+    def s(ctx, nm, out):
+        yield from nm.send(ctx.core_id, 1, 1, 64, payload=b"a")
+        yield from nm.send(ctx.core_id, 1, 1, 128 * 1024, payload=b"b")
+        out["eager"] = nm.stats.eager_sends
+        out["rdv"] = nm.stats.rdv_sends
+
+    def r(ctx, nm, out):
+        yield from nm.recv(ctx.core_id, 0, 1)
+        yield from nm.recv(ctx.core_id, 0, 1)
+
+    cl, out = _run_pair(s, r)
+    assert out == {"eager": 1, "rdv": 1}
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # tag
+            st.sampled_from([16, 2_000, 40_000, 300_000]),  # size
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_property_random_message_sets_delivered_intact(messages):
+    """Any mix of eager/rdv messages across tags arrives with the right
+    payloads, per-flow order preserved."""
+    cl, (n0, n1) = _cluster()
+    received: dict[int, list] = {0: [], 1: [], 2: []}
+    by_tag: dict[int, list] = {0: [], 1: [], 2: []}
+    for i, (tag, size) in enumerate(messages):
+        by_tag[tag].append((i, size))
+
+    def s(ctx):
+        # non-blocking posts, then wait-all: a blocking rendezvous send
+        # inside an arbitrary order would be an *unsafe* MPI pattern (the
+        # receiver may legitimately not have posted the matching recv yet)
+        reqs = []
+        for i, (tag, size) in enumerate(messages):
+            req = yield from n0.isend(ctx.core_id, 1, tag, size, payload=("m", i))
+            reqs.append(req)
+        for req in reqs:
+            yield from n0.wait(ctx.core_id, req)
+
+    def r(ctx):
+        for tag, items in by_tag.items():
+            for _ in items:
+                req = yield from n1.recv(ctx.core_id, 0, tag)
+                received[tag].append((req.payload, req.size))
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=1_000_000_000)
+    for tag, items in by_tag.items():
+        assert [p for p, _ in received[tag]] == [("m", i) for i, _ in items]
+        assert [s_ for _, s_ in received[tag]] == [sz for _, sz in items]
+
+
+def test_rdv_threshold_boundary():
+    """Messages at the threshold go eager; one byte over goes rendezvous."""
+    cl, (n0, n1) = _cluster(rdv_threshold=10_000)
+    protos = {}
+
+    def s(ctx):
+        r1 = yield from n0.isend(ctx.core_id, 1, 0, 10_000, payload=b"at")
+        r2 = yield from n0.isend(ctx.core_id, 1, 1, 10_001, payload=b"over")
+        protos["at"] = r1.protocol
+        protos["over"] = r2.protocol
+        yield from n0.waitall(ctx.core_id, [r1, r2])
+
+    def r(ctx):
+        yield from n1.recv(ctx.core_id, 0, 0)
+        yield from n1.recv(ctx.core_id, 0, 1)
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=200_000_000)
+    assert protos == {"at": "eager", "over": "rdv"}
+
+
+def test_custom_strategy_threads_through_madmpi():
+    from repro.cluster.cluster import Cluster as _Cluster
+    from repro.mpi import MadMPI
+    from repro.nmad.strategies import StratDefault
+
+    cl = _Cluster(2, seed=4)
+    strat = StratDefault()
+    mpi = MadMPI(cl, strategy=strat, rdv_threshold=4_096)
+    assert all(nm.strategy is strat for nm in mpi.nmads)
+    assert all(nm.rdv_threshold == 4_096 for nm in mpi.nmads)

@@ -1,0 +1,48 @@
+"""Protocol tracing through a live exchange."""
+
+from repro.cluster.cluster import Cluster
+from repro.nmad.library import NMad
+from repro.sim.trace import Tracer
+
+
+def test_trace_captures_protocol_events():
+    tracer = Tracer(enabled=True)
+    cl = Cluster(2, seed=5, tracer=tracer)
+    n0, n1 = NMad(cl.nodes[0]), NMad(cl.nodes[1])
+
+    def s(ctx):
+        yield from n0.send(ctx.core_id, 1, 3, 256 * 1024, payload=b"T")
+
+    def r(ctx):
+        yield from n1.recv(ctx.core_id, 0, 3)
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=200_000_000)
+
+    nmad_events = [r.message for r in tracer.select("nmad")]
+    wire_events = [r.message for r in tracer.select("wire")]
+    assert any("isend" in m and "rdv" in m for m in nmad_events)
+    assert any(m.startswith("rx rts") for m in nmad_events)
+    assert any(m.startswith("rx cts") for m in nmad_events)
+    assert any(m.startswith("rx data") for m in nmad_events)
+    assert any(m.startswith("rx fin") for m in nmad_events)
+    assert any("tx rts" in m for m in wire_events)
+    # pioman events also flowed through the same tracer
+    assert tracer.select("pioman")
+
+
+def test_trace_disabled_by_default_costs_nothing():
+    cl = Cluster(2, seed=5)
+    n0, n1 = NMad(cl.nodes[0]), NMad(cl.nodes[1])
+
+    def s(ctx):
+        yield from n0.send(ctx.core_id, 1, 3, 64, payload=b"x")
+
+    def r(ctx):
+        yield from n1.recv(ctx.core_id, 0, 3)
+
+    cl.nodes[0].scheduler.spawn(s, 0)
+    cl.nodes[1].scheduler.spawn(r, 0)
+    cl.run(until=100_000_000)
+    assert len(n0.tracer) == 0

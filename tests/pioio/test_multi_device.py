@@ -1,0 +1,59 @@
+"""PIO-I/O with several devices per node and mixed waits."""
+
+from repro.core.manager import PIOMan
+from repro.pioio.device import RAMDISK, SSD, BlockDevice
+from repro.pioio.manager import PIOIo
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.threads.instructions import Compute
+from repro.threads.scheduler import Scheduler
+from repro.topology.builder import borderline
+
+
+def test_two_devices_two_managers_one_pioman():
+    """Mirrors the paper's multi-NIC story: one task manager progresses
+    several pollable devices concurrently."""
+    m = borderline()
+    eng = Engine()
+    sched = Scheduler(m, eng, rng=Rng(9))
+    pio = PIOMan(m, eng, sched)
+    fast = PIOIo(pio, BlockDevice(eng, RAMDISK, name="fast"))
+    slow = PIOIo(pio, BlockDevice(eng, SSD, name="slow"))
+    out = {}
+
+    def body(ctx):
+        r_fast = yield from fast.aio_read(ctx.core_id, 0, 4096)
+        r_slow = yield from slow.aio_read(ctx.core_id, 0, 4096)
+        yield from fast.wait(ctx.core_id, r_fast)
+        out["fast_done"] = ctx.now
+        yield from slow.wait(ctx.core_id, r_slow)
+        out["slow_done"] = ctx.now
+
+    sched.spawn(body, 0)
+    eng.run()
+    assert out["fast_done"] < out["slow_done"]
+    assert fast.reaped == 1 and slow.reaped == 1
+
+
+def test_io_interleaved_with_compute_bursts():
+    m = borderline()
+    eng = Engine()
+    sched = Scheduler(m, eng, rng=Rng(9))
+    pio = PIOMan(m, eng, sched)
+    aio = PIOIo(pio, BlockDevice(eng, SSD))
+    completed = []
+
+    def body(ctx):
+        for round_no in range(3):
+            reqs = []
+            for i in range(2):
+                r = yield from aio.aio_write(ctx.core_id, i * 4096, 4096)
+                reqs.append(r)
+            yield Compute(500_000)
+            yield from aio.wait_all(ctx.core_id, reqs)
+            completed.append(round_no)
+
+    sched.spawn(body, 0)
+    eng.run()
+    assert completed == [0, 1, 2]
+    assert aio.pending_count() == 0

@@ -1,0 +1,82 @@
+"""Report rendering over live simulation stats."""
+
+from repro.core.manager import PIOMan
+from repro.core.progress import piom_wait
+from repro.core.task import LTask
+from repro.sim.engine import Engine
+from repro.sim.report import core_utilization, full_report, keypoint_report, queue_report
+from repro.sim.rng import Rng
+from repro.threads.instructions import Compute
+from repro.threads.scheduler import Scheduler
+from repro.topology.builder import borderline
+from repro.topology.cpuset import CpuSet
+
+
+def _run_workload():
+    m = borderline()
+    eng = Engine()
+    sched = Scheduler(m, eng, rng=Rng(2))
+    pio = PIOMan(m, eng, sched)
+
+    def body(ctx):
+        yield Compute(50_000)
+        task = LTask(None, cpuset=CpuSet.single(3), name="t")
+        yield from pio.submit(0, task)
+        yield from piom_wait(pio, 0, task, mode="spin")
+
+    sched.spawn(body, 0)
+    eng.run()
+    return sched, pio
+
+
+def test_core_utilization_lists_every_core():
+    sched, pio = _run_workload()
+    text = core_utilization(sched, pio)
+    for c in range(8):
+        assert f"\n{c:>5} " in "\n" + text
+    assert "total busy" in text
+
+
+def test_utilization_bars_reflect_busy_fraction():
+    sched, pio = _run_workload()
+    text = core_utilization(sched)
+    lines = text.splitlines()
+    core0 = next(l for l in lines if l.strip().startswith("0 "))
+    core7 = next(l for l in lines if l.strip().startswith("7 "))
+    assert core0.count("#") >= core7.count("#")
+
+
+def test_queue_report_skips_untouched_queues():
+    sched, pio = _run_workload()
+    text = queue_report(pio)
+    assert "q:core#3" in text
+    # never-touched per-core queues of unrelated cores are omitted
+    assert "q:core#6" not in text
+
+
+def test_keypoint_report_counts():
+    sched, pio = _run_workload()
+    text = keypoint_report(sched)
+    assert "idle=" in text and "wait=" in text
+
+
+def test_full_report_combines_sections():
+    sched, pio = _run_workload()
+    text = full_report(sched, pio)
+    assert "core utilization" in text
+    assert "task queues" in text
+    assert "progression keypoints" in text
+
+
+def test_report_without_pioman():
+    m = borderline()
+    eng = Engine()
+    sched = Scheduler(m, eng, rng=Rng(2))
+
+    def body(ctx):
+        yield Compute(1_000)
+
+    sched.spawn(body, 0)
+    eng.run()
+    text = full_report(sched)
+    assert "core utilization" in text

@@ -1,0 +1,142 @@
+"""Condition variable (Mesa semantics) and atomic counter."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.sync.condition import AtomicCounter, Condition
+from repro.threads.instructions import Compute
+from repro.threads.scheduler import Scheduler
+from repro.topology.builder import borderline
+
+
+def _world(seed=8):
+    m = borderline()
+    eng = Engine()
+    sched = Scheduler(m, eng, rng=Rng(seed))
+    return m, eng, sched
+
+
+def test_producer_consumer_bounded_queue():
+    m, eng, sched = _world()
+    cond = Condition(m, eng, name="q")
+    queue = []
+    consumed = []
+    CAP = 2
+
+    def producer(ctx):
+        for i in range(6):
+            yield cond.acquire()
+            while len(queue) >= CAP:
+                yield from cond.wait(ctx)
+            queue.append(i)
+            yield from cond.notify_all(ctx)
+            yield cond.release()
+            yield Compute(500)
+
+    def consumer(ctx):
+        for _ in range(6):
+            yield cond.acquire()
+            while not queue:
+                yield from cond.wait(ctx)
+            consumed.append(queue.pop(0))
+            yield from cond.notify_all(ctx)
+            yield cond.release()
+            yield Compute(2_000)
+
+    sched.spawn(producer, 0, name="prod")
+    sched.spawn(consumer, 3, name="cons")
+    eng.run()
+    assert consumed == list(range(6))
+    assert cond.waiter_count() == 0
+
+
+def test_wait_without_mutex_raises():
+    m, eng, sched = _world()
+    cond = Condition(m, eng, name="c")
+
+    def body(ctx):
+        yield from cond.wait(ctx)
+
+    sched.spawn(body, 0)
+    with pytest.raises(RuntimeError):
+        eng.run()
+
+
+def test_notify_with_no_waiters_is_noop():
+    m, eng, sched = _world()
+    cond = Condition(m, eng, name="c")
+
+    def body(ctx):
+        yield cond.acquire()
+        yield from cond.notify(ctx)
+        yield cond.release()
+        return True
+
+    t = sched.spawn(body, 0)
+    eng.run()
+    assert t.result is True and cond.signals == 1
+
+
+def test_notify_all_wakes_everyone():
+    m, eng, sched = _world()
+    cond = Condition(m, eng, name="c")
+    woke = []
+    state = {"go": False}
+
+    def waiter(idx, core):
+        def body(ctx):
+            yield cond.acquire()
+            while not state["go"]:
+                yield from cond.wait(ctx)
+            woke.append(idx)
+            yield cond.release()
+
+        return body
+
+    def releaser(ctx):
+        yield Compute(50_000)
+        yield cond.acquire()
+        state["go"] = True
+        yield from cond.notify_all(ctx)
+        yield cond.release()
+
+    for i, core in enumerate((1, 2, 4)):
+        sched.spawn(waiter(i, core), core, name=f"w{i}")
+    sched.spawn(releaser, 0)
+    eng.run()
+    assert sorted(woke) == [0, 1, 2]
+
+
+def test_atomic_counter_fetch_add():
+    m, eng, sched = _world()
+    counter = AtomicCounter(m, eng, home=0, name="n")
+    seen = []
+
+    def body(core, times):
+        def gen(ctx):
+            for _ in range(times):
+                old = yield from counter.fetch_add(ctx.core_id)
+                seen.append(old)
+                yield Compute(100)
+
+        return gen
+
+    sched.spawn(body(0, 5), 0)
+    sched.spawn(body(4, 5), 4)
+    eng.run()
+    assert counter.value == 10
+    assert sorted(seen) == list(range(10))  # every ticket unique
+
+
+def test_atomic_counter_load():
+    m, eng, sched = _world()
+    counter = AtomicCounter(m, eng, initial=7)
+
+    def body(ctx):
+        v = yield from counter.load(ctx.core_id)
+        return v
+
+    t = sched.spawn(body, 2)
+    eng.run()
+    assert t.result == 7

@@ -1,0 +1,121 @@
+"""Mutex: blocking semantics, FIFO wake order, context-switch cost."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.threads.instructions import Compute, MutexAcquire, MutexRelease
+from repro.threads.scheduler import Scheduler
+from repro.sync.mutex import Mutex
+from repro.topology.builder import borderline
+
+
+def _setup():
+    m = borderline()
+    eng = Engine()
+    sched = Scheduler(m, eng, rng=Rng(1))
+    return m, eng, sched
+
+
+def test_uncontended_acquire_release():
+    m, eng, sched = _setup()
+    mtx = Mutex(m, eng, name="M")
+    events = []
+
+    def body(ctx):
+        yield MutexAcquire(mtx)
+        events.append("locked")
+        yield Compute(100)
+        yield MutexRelease(mtx)
+        events.append("released")
+
+    sched.spawn(body, 0)
+    eng.run()
+    assert events == ["locked", "released"]
+    assert not mtx.held
+
+
+def test_contended_thread_blocks_and_wakes_fifo():
+    m, eng, sched = _setup()
+    mtx = Mutex(m, eng, name="M")
+    order = []
+
+    def body(name, core, hold_ns):
+        def gen(ctx):
+            yield MutexAcquire(mtx)
+            order.append(name)
+            yield Compute(hold_ns)
+            yield MutexRelease(mtx)
+
+        return gen
+
+    sched.spawn(body("a", 0, 5_000), 0)
+    sched.spawn(body("b", 2, 100), 2)
+    sched.spawn(body("c", 4, 100), 4)
+    eng.run()
+    assert order == ["a", "b", "c"]  # FIFO despite core distances
+
+
+def test_blocked_waiter_frees_its_core():
+    """While blocked on a mutex, the waiter's core can run other threads."""
+    m, eng, sched = _setup()
+    mtx = Mutex(m, eng, name="M")
+    progress = []
+
+    def holder(ctx):
+        yield MutexAcquire(mtx)
+        yield Compute(50_000)
+        yield MutexRelease(mtx)
+
+    def waiter(ctx):
+        yield MutexAcquire(mtx)
+        progress.append(("waiter", ctx.now))
+        yield MutexRelease(mtx)
+
+    def bystander(ctx):
+        yield Compute(1_000)
+        progress.append(("bystander", ctx.now))
+
+    sched.spawn(holder, 0)
+    sched.spawn(waiter, 2, name="w")
+    sched.spawn(bystander, 2, name="b")
+    eng.run()
+    names = [n for n, _ in progress]
+    assert names.index("bystander") < names.index("waiter")
+
+
+def test_release_by_non_holder_raises():
+    m, eng, sched = _setup()
+    mtx = Mutex(m, eng, name="M")
+
+    def bad(ctx):
+        yield MutexRelease(mtx)
+
+    sched.spawn(bad, 0)
+    with pytest.raises(RuntimeError):
+        eng.run()
+
+
+def test_mutex_wait_costs_more_than_hold_time():
+    """The waiter pays scheduling latency on top of the hold time."""
+    m, eng, sched = _setup()
+    mtx = Mutex(m, eng, name="M")
+    t = {}
+
+    def holder(ctx):
+        yield MutexAcquire(mtx)
+        yield Compute(200)
+        yield MutexRelease(mtx)
+
+    def waiter(ctx):
+        t["start"] = ctx.now
+        yield MutexAcquire(mtx)
+        t["locked"] = ctx.now
+        yield MutexRelease(mtx)
+
+    sched.spawn(holder, 0)
+    sched.spawn(waiter, 4, name="w")
+    eng.run()
+    waited = t["locked"] - t["start"]
+    assert waited > 200  # hold time plus wake/dispatch path
+    assert mtx.stats.contended == 1

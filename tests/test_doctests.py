@@ -1,0 +1,11 @@
+"""Docstring examples must stay executable."""
+
+import doctest
+
+import repro.sim.units
+
+
+def test_units_doctests():
+    results = doctest.testmod(repro.sim.units, verbose=False)
+    assert results.attempted >= 3
+    assert results.failed == 0

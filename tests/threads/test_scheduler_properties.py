@@ -1,0 +1,110 @@
+"""Property tests: random thread programs against scheduler invariants.
+
+For arbitrary mixes of compute/sleep/yield/lock work spread over random
+cores, the scheduler must (a) finish every thread, (b) never lose or
+double-charge CPU time, (c) keep mutual exclusion, and (d) be exactly
+reproducible.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.sync.spinlock import SpinLock
+from repro.threads.instructions import Acquire, Compute, Release, Sleep, YieldCPU
+from repro.threads.scheduler import Scheduler
+from repro.threads.thread import TState
+from repro.topology.builder import borderline
+
+# one program step: (kind, arg)
+step_st = st.one_of(
+    st.tuples(st.just("compute"), st.integers(min_value=1, max_value=50_000)),
+    st.tuples(st.just("sleep"), st.integers(min_value=1, max_value=20_000)),
+    st.tuples(st.just("yield"), st.just(0)),
+    st.tuples(st.just("lock"), st.integers(min_value=1, max_value=5_000)),
+)
+
+program_st = st.lists(step_st, min_size=1, max_size=8)
+
+
+def _build_and_run(programs, cores, seed):
+    machine = borderline()
+    engine = Engine()
+    sched = Scheduler(machine, engine, rng=Rng(seed))
+    lock = SpinLock(machine, engine, home=0, name="shared")
+    in_section = []
+
+    def make_body(program):
+        def body(ctx):
+            for kind, arg in program:
+                if kind == "compute":
+                    yield Compute(arg)
+                elif kind == "sleep":
+                    yield Sleep(arg)
+                elif kind == "yield":
+                    yield YieldCPU()
+                else:  # lock
+                    yield Acquire(lock)
+                    in_section.append(1)
+                    assert len(in_section) == 1, "mutual exclusion violated"
+                    yield Compute(arg)
+                    in_section.pop()
+                    yield Release(lock)
+            return ctx.now
+
+        return body
+
+    threads = [
+        sched.spawn(make_body(p), c, name=f"p{i}")
+        for i, (p, c) in enumerate(zip(programs, cores))
+    ]
+    engine.run()
+    return machine, engine, sched, threads
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_property_all_threads_finish_and_time_conserved(data):
+    programs = data.draw(st.lists(program_st, min_size=1, max_size=5))
+    cores = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=7),
+            min_size=len(programs),
+            max_size=len(programs),
+        )
+    )
+    machine, engine, sched, threads = _build_and_run(programs, cores, seed=3)
+    for t, program in zip(threads, programs):
+        assert t.state is TState.DONE
+        # a thread's core time covers at least its own compute work
+        compute_total = sum(a for k, a in program if k in ("compute", "lock"))
+        assert t.cpu_ns >= compute_total
+        # and its finish time is at least its serial busy+sleep demand
+        serial = sum(a for k, a in program if k != "yield")
+        assert t.result >= serial
+    # per-core busy time equals the sum of its threads' charged time
+    # (idle/hook threads may add a little, never subtract)
+    for core_state in sched.cores:
+        thread_time = sum(
+            t.cpu_ns for t in sched.threads if t.core_id == core_state.id
+        )
+        assert core_state.busy_ns == thread_time
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_property_runs_are_reproducible(data):
+    programs = data.draw(st.lists(program_st, min_size=1, max_size=4))
+    cores = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=7),
+            min_size=len(programs),
+            max_size=len(programs),
+        )
+    )
+
+    def run():
+        _, engine, _, threads = _build_and_run(programs, cores, seed=9)
+        return engine.now, engine.fired, [t.result for t in threads]
+
+    assert run() == run()

@@ -1,0 +1,95 @@
+"""CpuSet: construction, algebra, iteration, hypothesis laws."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.cpuset import EMPTY, CpuSet
+
+core_sets = st.sets(st.integers(min_value=0, max_value=63), max_size=16)
+
+
+def test_from_iterable_and_mask_agree():
+    assert CpuSet([0, 2, 5]) == CpuSet(0b100101)
+
+
+def test_single():
+    s = CpuSet.single(7)
+    assert list(s) == [7] and len(s) == 1
+
+
+def test_range_half_open():
+    assert list(CpuSet.range(2, 6)) == [2, 3, 4, 5]
+    assert list(CpuSet.range(3, 3)) == []
+
+
+def test_range_inverted_raises():
+    with pytest.raises(ValueError):
+        CpuSet.range(5, 2)
+
+
+def test_all():
+    assert list(CpuSet.all(4)) == [0, 1, 2, 3]
+
+
+def test_negative_core_raises():
+    with pytest.raises(ValueError):
+        CpuSet([-1])
+    with pytest.raises(ValueError):
+        CpuSet(-5)
+
+
+def test_contains():
+    s = CpuSet([1, 3])
+    assert 1 in s and 3 in s and 2 not in s
+
+
+def test_first():
+    assert CpuSet([9, 4, 30]).first() == 4
+    with pytest.raises(ValueError):
+        EMPTY.first()
+
+
+def test_bool_len():
+    assert not EMPTY and len(EMPTY) == 0
+    assert CpuSet([0]) and len(CpuSet([0, 63])) == 2
+
+
+def test_hashable_in_dict():
+    d = {CpuSet([1, 2]): "a"}
+    assert d[CpuSet([2, 1])] == "a"
+
+
+def test_repr_lists_cores():
+    assert repr(CpuSet([3, 1])) == "CpuSet([1, 3])"
+
+
+@given(core_sets, core_sets)
+def test_property_algebra_matches_sets(a, b):
+    ca, cb = CpuSet(a), CpuSet(b)
+    assert set(ca | cb) == a | b
+    assert set(ca & cb) == a & b
+    assert set(ca - cb) == a - b
+    assert set(ca ^ cb) == a ^ b
+
+
+@given(core_sets, core_sets)
+def test_property_subset_relations(a, b):
+    ca, cb = CpuSet(a), CpuSet(b)
+    assert ca.issubset(cb) == (a <= b)
+    assert ca.issuperset(cb) == (a >= b)
+    assert ca.intersects(cb) == bool(a & b)
+
+
+@given(core_sets)
+def test_property_iteration_sorted_roundtrip(a):
+    c = CpuSet(a)
+    assert list(c) == sorted(a)
+    assert CpuSet(list(c)) == c
+
+
+@given(core_sets)
+def test_property_demorgan_within_universe(a):
+    universe = CpuSet.all(64)
+    c = CpuSet(a)
+    assert (universe - c) | c == universe
+    assert (universe - c) & c == EMPTY

@@ -1,0 +1,168 @@
+"""Machine topology: tree structure, transfer matrix, routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.builder import borderline, from_counts, kwak, numa_machine, smp
+from repro.topology.cpuset import CpuSet
+from repro.topology.machine import Level, MachineSpec
+
+
+def test_borderline_shape():
+    m = borderline()
+    assert m.ncores == 8
+    assert len(m.root.children) == 4  # chips
+    assert all(len(chip.children) == 2 for chip in m.root.children)
+
+
+def test_kwak_shape():
+    m = kwak()
+    assert m.ncores == 16
+    assert len(m.root.children) == 4  # NUMA nodes
+    caches = [n for n in m.nodes if n.level == Level.CACHE]
+    assert len(caches) == 4
+    assert all(len(c.cpuset) == 4 for c in caches)
+
+
+def test_core_nodes_dense_and_ordered():
+    m = kwak()
+    assert [c.index for c in m.core_nodes] == list(range(16))
+
+
+def test_cpusets_fill_bottom_up():
+    m = borderline()
+    assert list(m.root.cpuset) == list(range(8))
+    assert list(m.root.children[1].cpuset) == [2, 3]
+
+
+def test_xfer_symmetry_and_diagonal():
+    for m in (borderline(), kwak()):
+        local = m.spec.local_ns
+        for a in range(m.ncores):
+            assert m.xfer(a, a) == local
+            for b in range(m.ncores):
+                assert m.xfer(a, b) == m.xfer(b, a)
+
+
+def test_xfer_ordering_by_distance():
+    m = kwak()
+    assert m.xfer(0, 1) < m.xfer(0, 4)  # shared L3 < cross NUMA
+
+
+def test_inval_at_least_defined():
+    m = borderline()
+    assert m.inval(0, 7) >= m.xfer(0, 7)  # invalidation is the slow path here
+
+
+def test_common_level():
+    m = kwak()
+    assert m.common_level(0, 0) == Level.CORE
+    assert m.common_level(0, 3) == Level.CACHE
+    assert m.common_level(0, 15) == Level.MACHINE
+
+
+def test_node_covering_narrowest():
+    m = kwak()
+    assert m.node_covering(CpuSet.single(5)).level == Level.CORE
+    assert m.node_covering(CpuSet([4, 5, 6])).level == Level.CACHE
+    assert m.node_covering(CpuSet([0, 15])).level == Level.MACHINE
+
+
+def test_node_covering_rejects_bad_sets():
+    m = borderline()
+    with pytest.raises(ValueError):
+        m.node_covering(CpuSet(0))
+    with pytest.raises(ValueError):
+        m.node_covering(CpuSet.single(99))
+
+
+def test_siblings_sharing():
+    m = kwak()
+    assert m.siblings_sharing(0, Level.CACHE) == CpuSet([0, 1, 2, 3])
+    bl = borderline()
+    # no cache level on borderline: CACHE stops at the core itself,
+    # CHIP picks up the sibling pair
+    assert bl.siblings_sharing(0, Level.CHIP) == CpuSet([0, 1])
+
+
+def test_describe_mentions_all_cores():
+    text = borderline().describe()
+    assert "chip#3" in text and "core#7" in text
+
+
+def test_spec_xfer_fallback_outward():
+    spec = MachineSpec(name="x", xfer_ns={Level.MACHINE: 100})
+    assert spec.xfer(Level.CHIP) == 100  # falls out to machine level
+    assert spec.xfer(Level.CORE) == spec.local_ns
+
+
+def test_spec_xfer_missing_raises():
+    spec = MachineSpec(name="x")
+    with pytest.raises(KeyError):
+        spec.xfer(Level.MACHINE)
+
+
+def test_generic_smp_builder():
+    m = smp(3, 4)
+    assert m.ncores == 12
+    assert m.common_level(0, 3) == Level.CHIP
+    assert m.common_level(0, 4) == Level.MACHINE
+
+
+def test_generic_numa_builder_with_l3():
+    m = numa_machine(2, 2, 2, shared_l3=True)
+    assert m.ncores == 8
+    assert m.common_level(0, 1) == Level.CACHE
+    # different chip, same NUMA node
+    assert m.common_level(0, 2) == Level.NUMA
+    assert m.common_level(0, 4) == Level.MACHINE
+
+
+def test_numa_builder_without_l3():
+    m = numa_machine(2, 1, 2, shared_l3=False)
+    assert m.common_level(0, 1) == Level.CHIP
+
+
+def test_from_counts_variants():
+    spec = MachineSpec(name="c", xfer_ns={Level.MACHINE: 50})
+    assert from_counts([6], spec).ncores == 6
+    assert from_counts([2, 3], spec).ncores == 6
+    assert from_counts([2, 1, 3], spec).ncores == 6
+    with pytest.raises(ValueError):
+        from_counts([], spec)
+
+
+def test_builders_reject_zero():
+    with pytest.raises(ValueError):
+        smp(0, 2)
+    with pytest.raises(ValueError):
+        numa_machine(1, 0, 2)
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+def test_property_node_covering_is_narrowest(nchips, ncores, data):
+    m = smp(nchips, ncores)
+    cores = data.draw(
+        st.sets(st.integers(min_value=0, max_value=m.ncores - 1), min_size=1)
+    )
+    cpuset = CpuSet(cores)
+    node = m.node_covering(cpuset)
+    # covers
+    assert cpuset.issubset(node.cpuset)
+    # narrowest: no child of the node covers the whole set
+    for child in node.children:
+        assert not cpuset.issubset(child.cpuset)
+
+
+def test_nehalem_ex_preset():
+    from repro.topology.builder import MACHINES, nehalem_ex_64
+
+    m = nehalem_ex_64()
+    assert m.ncores == 64
+    assert m.common_level(0, 7) == Level.CACHE
+    assert m.common_level(0, 8) == Level.MACHINE
+    assert MACHINES["nehalem_ex_64"] is nehalem_ex_64

@@ -1,0 +1,46 @@
+"""Calibration helper: side-by-side measured vs paper targets.
+
+Run:  python3 tools/calibrate.py
+Not part of the library — a development tool kept for reproducibility.
+"""
+
+from repro.topology import borderline, kwak
+from repro.bench.task_microbench import run_task_microbench
+
+PAPER = {
+    "borderline": {
+        "core#0": 770, "core#1": 788, "core#2": 839, "core#3": 818,
+        "core#4": 846, "core#5": 858, "core#6": 858,  # core#7=1819 anomaly
+        "chip#0": 1114, "chip#1": 1059, "chip#2": 1157, "chip#3": 1199,
+        "global": 4720,
+    },
+    "kwak": {
+        "core#0": 723, "core#1": 697, "core#2": 697, "core#3": 697,
+        "core#4": 1777, "core#5": 1787, "core#6": 1776, "core#7": 1777,
+        "core#8": 1777, "core#9": 1867, "core#10": 1866, "core#11": 1867,
+        "core#12": 1747, "core#13": 1737, "core#14": 1737, "core#15": 1787,
+        "cache#0": 1905, "cache#1": 2037, "cache#2": 2046,  # cache#3=5216 anomaly
+        "global": 13585,
+    },
+}
+
+
+def main() -> None:
+    for mf in (borderline, kwak):
+        m = mf()
+        res = run_task_microbench(m, reps=200)
+        targets = PAPER[res.machine]
+        print(f"=== {res.machine} ===")
+        print(f"{'row':<10} {'paper':>8} {'ours':>8} {'ratio':>6}")
+        for row in res.all_rows():
+            t = targets.get(row.label)
+            if t is None:
+                continue
+            print(f"{row.label:<10} {t:>8} {row.mean_ns:>8.0f} {row.mean_ns / t:>6.2f}")
+        g = res.global_row
+        print(" global shares:", {k: round(v, 2) for k, v in g.shares.items()})
+        print()
+
+
+if __name__ == "__main__":
+    main()
