@@ -58,6 +58,7 @@ from repro.core import (
 )
 from repro.cluster import Cluster, Node
 from repro.nmad import NMad
+from repro.obs import MetricsRegistry, chrome_trace, write_chrome_trace
 from repro.pioio import BlockDevice, PIOIo
 from repro.mpi import MadMPI, MVAPICHLike, OpenMPILike
 
@@ -65,6 +66,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Engine", "Rng", "Tracer", "NS", "US", "MS", "fmt_ns",
+    "MetricsRegistry", "chrome_trace", "write_chrome_trace",
     "CpuSet", "Level", "Machine", "MachineSpec",
     "borderline", "kwak", "smp", "numa_machine",
     "SpinLock", "Mutex", "Condition", "AtomicCounter", "LockStats",

@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench fig6 fig7
     python -m repro.bench all --json results.json   # machine-readable dump
     python -m repro.bench scalability bandwidth     # extensions
+    python -m repro.bench table1 --metrics-out m.json --trace-out t.json
 
 (also installed as the ``repro-bench`` console script).
 """
@@ -19,7 +20,7 @@ import argparse
 import dataclasses
 import json
 import sys
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 
 def _to_jsonable(obj: Any) -> Any:
@@ -72,6 +73,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--json", metavar="PATH", default=None,
         help="also dump every regenerated series to PATH as JSON",
     )
+    ap.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="dump a flat MetricsRegistry snapshot of an instrumented "
+        "global-queue microbench run to PATH as JSON",
+    )
+    ap.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="dump the instrumented run's task timeline to PATH as "
+        "Chrome-trace JSON (load in chrome://tracing or ui.perfetto.dev)",
+    )
     args = ap.parse_args(argv)
     collected: dict[str, Any] = {}
 
@@ -79,11 +90,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     if "all" in targets:
         targets = list(ALL_TARGETS)
 
+    # Observability instrumentation: attach a registry + tracer to the
+    # first microbench table regenerated (or to a dedicated small run when
+    # no table target was requested) and write the artifacts at the end.
+    observe = args.metrics_out or args.trace_out
+    registry = tracer = None
+    instrumented: Optional[str] = None
+    if observe:
+        from repro.obs import MetricsRegistry
+        from repro.sim.trace import Tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=True)
+
     for target in targets:
         if target in ("table1", "table2"):
             machine_name = "borderline" if target == "table1" else "kwak"
             machine = MACHINES[machine_name]()
-            res = run_task_microbench(machine, reps=args.reps, seed=args.seed)
+            attach = observe and instrumented is None
+            res = run_task_microbench(
+                machine, reps=args.reps, seed=args.seed,
+                registry=registry if attach else None,
+                tracer=tracer if attach else None,
+            )
+            if attach:
+                instrumented = f"{target} global-queue row ({machine_name})"
             print(f"\n=== {target.upper()} ({machine_name}) ===")
             print(format_microbench(res, paper=targets_for(machine_name)))
             collected[target] = _to_jsonable(res)
@@ -118,6 +149,32 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             print(format_overlap(series))
             collected[target] = _to_jsonable(series)
+    if observe:
+        if instrumented is None:
+            # No table target ran: do one small dedicated instrumented run.
+            from repro.bench.task_microbench import measure_queue
+
+            machine = MACHINES["borderline"]()
+            measure_queue(
+                machine,
+                machine.all_cores(),
+                label="global",
+                reps=min(args.reps, 50),
+                seed=args.seed,
+                registry=registry,
+                tracer=tracer,
+            )
+            instrumented = "dedicated global-queue run (borderline)"
+        if args.metrics_out:
+            snap = registry.snapshot()
+            with open(args.metrics_out, "w") as fh:
+                json.dump({"meta": {"source": instrumented}, "metrics": snap}, fh, indent=1)
+            print(f"\nwrote {args.metrics_out} ({len(snap)} counters, {instrumented})")
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            nevents = write_chrome_trace(args.trace_out, tracer)
+            print(f"wrote {args.trace_out} ({nevents} trace events, {instrumented})")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(collected, fh, indent=2)

@@ -24,11 +24,16 @@ def format_microbench(res: MicrobenchResult, paper: Optional[dict] = None) -> st
     for row in res.all_rows():
         line = f"{row.label:<12}{row.mean_ns:>10.0f}{row.min_ns:>8}{row.max_ns:>9}"
         if paper:
+            # `t` may legitimately be 0 (a paper target of "negligible"):
+            # only a *missing* target renders as "-", and a 0 target shows
+            # no ratio (it would divide by zero).
             t = paper.get(row.label)
-            if t:
-                line += f"{t:>10}{row.mean_ns / t:>7.2f}"
-            else:
+            if t is None:
                 line += f"{'-':>10}{'-':>7}"
+            elif t == 0:
+                line += f"{t:>10}{'-':>7}"
+            else:
+                line += f"{t:>10}{row.mean_ns / t:>7.2f}"
         lines.append(line)
     if res.global_row and res.global_row.shares:
         shares = ", ".join(
@@ -47,7 +52,10 @@ def format_latency(series: Sequence[LatencySeries], tails: bool = False) -> str:
     """
     if not series:
         return "(no series)"
-    counts = [p.threads for p in series[0].points]
+    # Union of thread counts across series: implementations measured over
+    # ragged grids (e.g. a baseline that stops scaling early) render "-"
+    # instead of crashing on the first count they lack.
+    counts = sorted({p.threads for s in series for p in s.points})
     lines = ["Multi-threaded latency (one-way, us)"]
     header = f"{'threads':>8}"
     for s in series:
@@ -58,7 +66,12 @@ def format_latency(series: Sequence[LatencySeries], tails: bool = False) -> str:
     for n in counts:
         row = f"{n:>8}"
         for s in series:
-            point = next(p for p in s.points if p.threads == n)
+            point = next((p for p in s.points if p.threads == n), None)
+            if point is None:
+                row += f"{'-':>12}"
+                if tails:
+                    row += f"{'-':>14}"
+                continue
             row += f"{point.mean_one_way_ns / 1000:>12.2f}"
             if tails:
                 row += f"{point.p99_ns / 1000:>14.2f}"

@@ -89,16 +89,26 @@ def measure_queue(
     queue_factory: Callable = TaskQueue,
     hierarchical: bool = True,
     wait_mode: str = "auto",
+    registry=None,
+    tracer=None,
 ) -> RowResult:
     """Measure submit→complete round-trips for one target CPU set.
 
     A fresh simulation is built per measurement so rows are independent
-    (matching the paper's per-queue benchmarking).
+    (matching the paper's per-queue benchmarking).  Pass a
+    :class:`repro.obs.MetricsRegistry` and/or an enabled
+    :class:`repro.sim.Tracer` to capture this measurement's scheduler
+    internals (counters, task timeline) alongside the timing row.
     """
+    from repro.sim.trace import NULL_TRACER
+
+    if tracer is None:
+        tracer = NULL_TRACER
     engine = Engine()
-    sched = Scheduler(machine, engine, rng=Rng(seed))
+    sched = Scheduler(machine, engine, rng=Rng(seed), tracer=tracer, registry=registry)
     pioman = PIOMan(
-        machine, engine, sched, queue_factory=queue_factory, hierarchical=hierarchical
+        machine, engine, sched, queue_factory=queue_factory,
+        hierarchical=hierarchical, tracer=tracer, registry=registry,
     )
     if wait_mode == "auto":
         wait_mode = "active" if cpuset == CpuSet.single(0) else "spin"
@@ -145,8 +155,18 @@ def run_task_microbench(
     seed: int = 1,
     queue_factory: Callable = TaskQueue,
     hierarchical: bool = True,
+    registry=None,
+    tracer=None,
 ) -> MicrobenchResult:
-    """Full Table I/II sweep: every queue of the hierarchy."""
+    """Full Table I/II sweep: every queue of the hierarchy.
+
+    ``registry``/``tracer`` instrument the **global-queue** measurement
+    only (each row is a fresh simulation; instrumenting them all would
+    re-register the same queue paths).  The global row exercises every
+    core and every queue level, so its snapshot carries the per-queue
+    ``lost_races``, per-lock ``contention_ratio`` and per-core execution
+    shares the paper's contended tables are about.
+    """
     res = MicrobenchResult(machine=machine.spec.name, ncores=machine.ncores)
     for c in range(machine.ncores):
         res.per_core.append(
@@ -191,5 +211,7 @@ def run_task_microbench(
         seed=seed + 999,
         queue_factory=queue_factory,
         hierarchical=hierarchical,
+        registry=registry,
+        tracer=tracer,
     )
     return res

@@ -39,11 +39,15 @@ class Node:
         tracer: Tracer = NULL_TRACER,
         hierarchical: bool = True,
         queue_factory: Callable = TaskQueue,
+        registry=None,
     ) -> None:
         self.id = node_id
         self.machine = machine
         self.engine = engine
-        self.scheduler = Scheduler(machine, engine, name=f"node{node_id}", rng=rng, tracer=tracer)
+        self.scheduler = Scheduler(
+            machine, engine, name=f"node{node_id}", rng=rng, tracer=tracer,
+            registry=registry,
+        )
         self.pioman = PIOMan(
             machine,
             engine,
@@ -52,10 +56,14 @@ class Node:
             queue_factory=queue_factory,
             tracer=tracer,
             name=f"pioman@{node_id}",
+            registry=registry,
         )
         self.nics: list[Nic] = [
             fabric.new_nic(node_id, drv, index=i) for i, drv in enumerate(drivers)
         ]
+        if registry is not None:
+            for nic in self.nics:
+                registry.register(f"nic.{nic.name}", nic.stats)
         #: communication library instance (attached by nmad/mpi layers)
         self.comm = None
 
@@ -82,6 +90,7 @@ class Cluster:
         tracer: Tracer = NULL_TRACER,
         hierarchical: bool = True,
         queue_factory: Callable = TaskQueue,
+        registry=None,
     ) -> None:
         if nnodes < 1:
             raise ValueError("need at least one node")
@@ -89,6 +98,7 @@ class Cluster:
         self.rng = Rng(seed)
         self.fabric = Fabric(self.engine, rng=self.rng.fork(1))
         self.tracer = tracer
+        self.registry = registry
         self.nodes = [
             Node(
                 i,
@@ -100,6 +110,7 @@ class Cluster:
                 tracer=tracer,
                 hierarchical=hierarchical,
                 queue_factory=queue_factory,
+                registry=registry,
             )
             for i in range(nnodes)
         ]

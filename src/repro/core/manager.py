@@ -11,7 +11,8 @@ Ties the pieces together:
   the local per-core queue up to the global queue, running every task
   found; repeat tasks whose function reports "not complete" are
   re-enqueued into the same queue.  Returns ``(tasks_run,
-  repeats_pending)`` so the idle loop can pace its re-polling.
+  repeats_pending, contended)`` so the idle loop can pace its re-polling
+  and stay hot after losing a dequeue race.
 * attaches itself to the thread scheduler as the progression hook, so
   idle / timer / context-switch keypoints all drive it (§IV-A).
 
@@ -34,6 +35,7 @@ from repro.threads.instructions import Compute, Instr, SetFlag
 from repro.threads.thread import Prio, TState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
     from repro.sim.engine import Engine
     from repro.threads.scheduler import Scheduler
     from repro.topology.machine import Machine
@@ -68,16 +70,23 @@ class PIOMan:
         hierarchical: bool = True,
         tracer: Tracer = NULL_TRACER,
         name: str = "pioman",
+        registry: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.machine = machine
         self.engine = engine
         self.scheduler = scheduler
         self.tracer = tracer
         self.name = name
+        self.registry = registry
         self.hierarchy = QueueHierarchy(
             machine, engine, queue_factory=queue_factory, hierarchical=hierarchical
         )
         self.stats = PIOManStats()
+        if registry is not None:
+            registry.register(name, self.stats)
+            registry.register(f"{name}.shares", self.execution_shares)
+            for queue in self.hierarchy.queues():
+                queue.register_into(registry, prefix=name)
         if scheduler is not None:
             scheduler.progression_hook = self.schedule_once
 
@@ -109,7 +118,9 @@ class PIOMan:
         yield from queue.enqueue(core, task)
         self.stats.submits += 1
         self.tracer.emit(
-            self.engine.now, "pioman", f"core{core}", f"submit {task.name} -> {queue.name}"
+            self.engine.now, "pioman", f"core{core}",
+            f"submit {task.name} -> {queue.name}",
+            phase="submit", task=task.name, queue=queue.name, core=core,
         )
         if self.scheduler is not None:
             # Only cores that may run the task spin on its queue.
@@ -135,6 +146,11 @@ class PIOMan:
         queue = self.hierarchy.queue_for_cpuset(task.cpuset)
         queue.enqueue_nowait(core, task)
         self.stats.submits += 1
+        self.tracer.emit(
+            self.engine.now, "pioman", f"core{core}",
+            f"submit {task.name} -> {queue.name}",
+            phase="submit", task=task.name, queue=queue.name, core=core,
+        )
         if self.scheduler is not None:
             ringable = task.cpuset & queue.node.cpuset
             self.scheduler.ring_cpuset(ringable, core)
@@ -195,7 +211,7 @@ class PIOMan:
     # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
-    def schedule_once(self, core: int) -> Generator[Instr, Any, tuple[int, int]]:
+    def schedule_once(self, core: int) -> Generator[Instr, Any, tuple[int, int, bool]]:
         """One full Algorithm-1 pass on ``core``.
 
         Walks the queue scan path (per-core ... global).  Within a queue,
@@ -204,6 +220,11 @@ class PIOMan:
         queue's inner loop (one poll attempt per task per keypoint —
         PIOMan's real behaviour; a literal reading of Algorithm 1 would
         poll a never-completing task forever).
+
+        Returns ``(ran, repeats, contended)``: tasks executed this pass,
+        how many of them reported "not complete" and were re-enqueued, and
+        whether the pass locked a visibly non-empty queue only to find it
+        drained (lost a dequeue race to another core).
         """
         ran = 0
         repeats = 0
@@ -246,13 +267,18 @@ class PIOMan:
         self, core: int, queue: TaskQueue, task: LTask
     ) -> Generator[Instr, Any, bool]:
         spec = self.machine.spec
+        t0 = self.engine.now
         yield Compute(spec.task_run_ns + task.cost_ns)
         complete = task.run(core)
         self.stats.note_exec(core)
         if task.repeat and not complete:
             self.stats.repeat_requeues += 1
+            self.tracer.emit(
+                self.engine.now, "pioman", f"core{core}", f"repeat {task.name}",
+                phase="run", task=task.name, queue=queue.name, core=core,
+                start=t0, complete=False,
+            )
             yield from queue.enqueue(core, task)
-            task.state = TaskState.QUEUED
             return False
         task.state = TaskState.DONE
         task.complete_time = self.engine.now
@@ -260,7 +286,9 @@ class PIOMan:
         if task.completion is not None:
             yield SetFlag(task.completion)
         self.tracer.emit(
-            self.engine.now, "pioman", f"core{core}", f"completed {task.name}"
+            self.engine.now, "pioman", f"core{core}", f"completed {task.name}",
+            phase="run", task=task.name, queue=queue.name, core=core,
+            start=t0, complete=True,
         )
         return True
 

@@ -207,6 +207,16 @@ class TaskQueue:
                 return task
         return None
 
+    def register_into(self, registry, prefix: str = "") -> None:
+        """Register this queue's counters — list traffic, lock behaviour
+        (including the derived ``contention_ratio``), and the emptiness
+        line's coherence stats — into a :class:`repro.obs.MetricsRegistry`
+        under ``<prefix>.<queue name>``."""
+        base = f"{prefix}.{self.name}" if prefix else self.name
+        registry.register(base, self.stats)
+        self.lock.register_into(registry, f"{base}.lock")
+        registry.register(f"{base}.mem", self.state_line.stats)
+
     def drain(self) -> list[LTask]:
         """Testing/shutdown helper: remove everything without cost."""
         out = list(self._tasks)

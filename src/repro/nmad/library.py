@@ -88,6 +88,7 @@ class NMad:
         poll_affinity_level: Level = Level.CHIP,
         offload_submission: bool = True,
         data_filter: "Optional[DataFilter]" = None,
+        registry=None,
     ) -> None:
         self.node = node
         self.machine = node.machine
@@ -111,6 +112,11 @@ class NMad:
         self.rdv_in: dict[int, RecvRequest] = {}
         self.pending_ops = 0
         self.stats = NMadStats()
+        #: metrics registry (defaults to the node's PIOMan registry, so one
+        #: cluster-wide registry sees the whole stack without re-plumbing)
+        self.registry = registry if registry is not None else node.pioman.registry
+        if self.registry is not None:
+            self.registry.register(f"nmad.node{node.id}", self.stats)
         #: live polling ltask per NIC name (None when self-completed)
         self._poll_tasks: dict[str, Optional[LTask]] = {n.name: None for n in node.nics}
         #: affinity set for polling tasks (fixed at first use)
@@ -572,6 +578,10 @@ class NMad:
         if gate is None:
             gate = Gate(self.node.id, peer, list(self.node.nics))
             self.gates[peer] = gate
+            if self.registry is not None:
+                self.registry.register(
+                    f"nmad.node{self.node.id}.gate{peer}", gate.stats
+                )
         return gate
 
     def _match_expected(self, src: int, tag: int) -> Optional[RecvRequest]:

@@ -1,0 +1,21 @@
+"""Unified observability: metrics registry + Chrome-trace export.
+
+Two complementary views of one simulation run:
+
+* :class:`MetricsRegistry` — every stats-bearing object (task queues,
+  spinlocks, cache lines, PIOMan, scheduler cores, NICs, nmad gates)
+  registered under a stable dot-path; ``snapshot()``/``diff()`` give the
+  machine-readable counters the paper's tables are built from.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — convert a
+  :class:`repro.sim.trace.Tracer` into a chrome://tracing / Perfetto
+  timeline with task lifetimes as per-core slices.
+
+Both are wired through the bench CLI (``--metrics-out`` / ``--trace-out``)
+so every benchmark run can emit its internals next to its paper-shaped
+table.
+"""
+
+from repro.obs.chrometrace import chrome_trace, write_chrome_trace
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["MetricsRegistry", "chrome_trace", "write_chrome_trace"]

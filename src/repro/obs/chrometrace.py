@@ -1,0 +1,112 @@
+"""Chrome-trace (chrome://tracing / Perfetto) export of a Tracer.
+
+Converts :class:`repro.sim.trace.TraceRecord` streams into the Trace Event
+Format JSON that ``chrome://tracing`` and https://ui.perfetto.dev load
+directly, putting the scheduler's behaviour on a zoomable timeline — the
+same debugging leverage Thibault's topology-aware trace views give for
+hierarchical thread schedulers.
+
+Mapping:
+
+* records carrying structured task-lifetime data (``phase="run"`` with a
+  ``start`` timestamp, emitted by :class:`repro.core.manager.PIOMan`)
+  become **complete** (``"ph": "X"``) duration slices on the executing
+  core's track, with the queue name and completion verdict in ``args``;
+* ``phase="submit"`` records become instant events on the submitting
+  core's track (so submit→run latency is visible as the gap between the
+  marker and the slice);
+* every other record becomes an instant event on its actor's track.
+
+Tracks: one synthetic process ("repro-sim"), one thread per distinct
+actor (``core0``, ``node1``, ``ib@node0.0`` ...), named via metadata
+events.  Timestamps are the simulator's integer nanoseconds divided by
+1000 — the format's ``ts``/``dur`` unit is microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import Tracer
+
+#: JSON-safe scalar types allowed into an event's ``args``
+_ARG_TYPES = (str, int, float, bool, type(None))
+
+
+def _safe_args(data: dict, *, drop: tuple[str, ...] = ()) -> dict[str, Any]:
+    return {
+        k: v
+        for k, v in data.items()
+        if k not in drop and isinstance(v, _ARG_TYPES)
+    }
+
+
+def chrome_trace(tracer: "Tracer") -> dict[str, Any]:
+    """Render every record of ``tracer`` as a Trace Event Format document."""
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": 0, "args": {"name": "repro-sim"}}
+    ]
+    tids: dict[str, int] = {}
+
+    def tid_for(actor: str) -> int:
+        tid = tids.get(actor)
+        if tid is None:
+            tid = tids[actor] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": actor},
+                }
+            )
+        return tid
+    for rec in tracer.records:
+        data = rec.data or {}
+        phase = data.get("phase")
+        if phase == "run" and "start" in data:
+            start = data["start"]
+            events.append(
+                {
+                    "name": data.get("task") or rec.message,
+                    "cat": rec.category,
+                    "ph": "X",
+                    "ts": start / 1000.0,
+                    "dur": (rec.time - start) / 1000.0,
+                    "pid": 0,
+                    "tid": tid_for(rec.actor),
+                    "args": _safe_args(data, drop=("phase", "start", "task")),
+                }
+            )
+        else:
+            name = rec.message
+            if phase == "submit" and data.get("task"):
+                name = f"submit {data['task']}"
+            events.append(
+                {
+                    "name": name,
+                    "cat": rec.category,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": rec.time / 1000.0,
+                    "pid": 0,
+                    "tid": tid_for(rec.actor),
+                    "args": _safe_args(data, drop=("phase",)),
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"recorded": len(tracer.records), "dropped": tracer.dropped},
+    }
+
+
+def write_chrome_trace(path: str, tracer: "Tracer") -> int:
+    """Write ``tracer`` to ``path`` as loadable JSON; returns event count."""
+    doc = chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    return len(doc["traceEvents"])

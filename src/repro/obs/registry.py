@@ -1,0 +1,168 @@
+"""The metrics registry — one place to see every counter.
+
+The paper's argument is carried by measured scheduler internals: lock
+contention on the global queue, empty-check traffic, per-core execution
+shares (§IV-A, Tables I/II).  Those counters already exist — ``QueueStats``,
+``LockStats``, ``MemStats``, ``PIOManStats``, ``NicStats`` ... — but each
+lives on its own object.  A :class:`MetricsRegistry` gives them a common
+address space:
+
+* stats-bearing objects **register** under a dot-path at construction
+  (``pioman.q:core#0``, ``sched.node0``, ``nic.ib@node0.0``);
+* :meth:`snapshot` scrapes every source into a flat
+  ``{"pioman.q:core#0.lost_races": 3, ...}`` mapping, ready for JSON;
+* :meth:`diff` subtracts two snapshots and keeps only the counters that
+  moved — the regression-gate primitive for perf PRs;
+* :meth:`report` renders a topology-grouped human view.
+
+Sources may be plain stats objects (dataclasses or ``__slots__`` classes),
+mappings, or zero-argument callables returning a mapping (used for derived
+metrics such as :meth:`repro.core.manager.PIOMan.execution_shares`).
+Numeric ``property`` descriptors on a stats class (e.g.
+``LockStats.contention_ratio``) are scraped too, so derived ratios appear
+next to their raw counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Mapping, Optional, Union
+
+Number = Union[int, float]
+MetricSource = Union[object, Mapping[str, Any], Callable[[], Mapping[str, Any]]]
+
+
+def _iter_slots(obj: object):
+    """Attribute names declared via ``__slots__`` anywhere in the MRO."""
+    seen: set[str] = set()
+    for klass in type(obj).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if name.startswith("_") or name in seen:
+                continue
+            seen.add(name)
+            yield name
+
+
+def _numeric_properties(obj: object):
+    """(name, value) for numeric ``property`` descriptors on the class."""
+    for klass in type(obj).__mro__:
+        for name, descr in vars(klass).items():
+            if name.startswith("_") or not isinstance(descr, property):
+                continue
+            try:
+                value = getattr(obj, name)
+            except Exception:  # pragma: no cover - defensive
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                yield name, value
+
+
+def _scrape(source: MetricSource) -> dict[str, Any]:
+    """Turn one registered source into a (possibly nested) mapping."""
+    if callable(source) and not isinstance(source, type):
+        source = source()
+    if isinstance(source, Mapping):
+        return dict(source)
+    out: dict[str, Any] = {}
+    if dataclasses.is_dataclass(source) and not isinstance(source, type):
+        for f in dataclasses.fields(source):
+            if not f.name.startswith("_"):
+                out[f.name] = getattr(source, f.name)
+    elif hasattr(type(source), "__slots__"):
+        for name in _iter_slots(source):
+            out[name] = getattr(source, name)
+    else:
+        for name, value in vars(source).items():
+            if not name.startswith("_"):
+                out[name] = value
+    for name, value in _numeric_properties(source):
+        out.setdefault(name, value)
+    return out
+
+
+def _flatten(prefix: str, value: Any, into: dict[str, Number]) -> None:
+    if isinstance(value, bool):
+        into[prefix] = int(value)
+    elif isinstance(value, (int, float)):
+        into[prefix] = value
+    elif isinstance(value, Mapping):
+        for key, sub in value.items():
+            _flatten(f"{prefix}.{key}", sub, into)
+    # non-numeric leaves (names, strings, objects) are not metrics: skip
+
+
+class MetricsRegistry:
+    """A tree of named metric sources with flat dot-path export.
+
+    Paths are stable identifiers: tooling (regression gates, dashboards,
+    tests) keys on them, so renaming a path is an API change.
+    """
+
+    def __init__(self) -> None:
+        self._sources: dict[str, MetricSource] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, path: str, source: MetricSource, *, replace: bool = False) -> None:
+        """Register ``source`` under ``path`` (raises on duplicates)."""
+        if not path or path.startswith(".") or path.endswith("."):
+            raise ValueError(f"invalid metrics path {path!r}")
+        if path in self._sources and not replace:
+            raise ValueError(f"metrics path {path!r} already registered")
+        self._sources[path] = source
+
+    def unregister(self, path: str) -> None:
+        self._sources.pop(path, None)
+
+    def paths(self) -> list[str]:
+        return sorted(self._sources)
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._sources
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> dict[str, Number]:
+        """Flat ``{dot.path.counter: value}`` view of every source, sorted."""
+        flat: dict[str, Number] = {}
+        for path, source in self._sources.items():
+            for name, value in _scrape(source).items():
+                _flatten(f"{path}.{name}", value, flat)
+        return dict(sorted(flat.items()))
+
+    @staticmethod
+    def diff(before: Mapping[str, Number], after: Mapping[str, Number]) -> dict[str, Number]:
+        """Counters that moved between two snapshots (missing keys = 0).
+
+        Returns ``{path: after - before}`` for every path whose value
+        changed; unchanged counters are omitted, so an empty dict means
+        "nothing happened between the snapshots".
+        """
+        out: dict[str, Number] = {}
+        for key in sorted(set(before) | set(after)):
+            delta = after.get(key, 0) - before.get(key, 0)
+            if delta:
+                out[key] = delta
+        return out
+
+    def report(self, snapshot: Optional[Mapping[str, Number]] = None) -> str:
+        """Topology-grouped human-readable rendering of a snapshot."""
+        snap = self.snapshot() if snapshot is None else snapshot
+        groups: dict[str, list[tuple[str, Number]]] = {}
+        for path, value in snap.items():
+            top, _, rest = path.partition(".")
+            groups.setdefault(top, []).append((rest, value))
+        lines: list[str] = []
+        for top in sorted(groups):
+            lines.append(f"== {top} ==")
+            width = max(len(name) for name, _ in groups[top])
+            for name, value in groups[top]:
+                if isinstance(value, float):
+                    lines.append(f"  {name:<{width}}  {value:.4f}")
+                else:
+                    lines.append(f"  {name:<{width}}  {value}")
+        return "\n".join(lines) if lines else "(no metrics registered)"
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry sources={len(self._sources)}>"

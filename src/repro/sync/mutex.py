@@ -82,6 +82,13 @@ class Mutex:
         self.engine.schedule(delay, waiter.scheduler.wake, waiter)
         return cost
 
+    def register_into(self, registry, path: Optional[str] = None) -> None:
+        """Expose this mutex's counters (and its line's coherence traffic)
+        under ``path`` in a :class:`repro.obs.MetricsRegistry`."""
+        base = path or self.name or f"mutex@{id(self):x}"
+        registry.register(base, self.stats)
+        registry.register(f"{base}.mem", self.line.stats)
+
     def waiter_count(self) -> int:
         return len(self._waiters)
 

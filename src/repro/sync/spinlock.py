@@ -163,6 +163,14 @@ class SpinLock:
         self.engine.schedule(delay, winner.grant_cb)
         return cost
 
+    # -- observability --------------------------------------------------
+    def register_into(self, registry, path: Optional[str] = None) -> None:
+        """Expose this lock's counters (and its line's coherence traffic)
+        under ``path`` in a :class:`repro.obs.MetricsRegistry`."""
+        base = path or self.name or f"spinlock@{id(self):x}"
+        registry.register(base, self.stats)
+        registry.register(f"{base}.mem", self.line.stats)
+
     # -- inspection -----------------------------------------------------
     def waiter_count(self) -> int:
         return len(self._waiters)

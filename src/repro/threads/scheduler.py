@@ -55,6 +55,7 @@ from repro.threads.instructions import (
 from repro.threads.thread import Prio, SimThread, ThreadCtx, TState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
     from repro.topology.machine import Machine
 
 #: signature of the progression hook: ``hook(core_id)`` is a generator
@@ -120,6 +121,7 @@ class Scheduler:
         enable_timer_hook: bool = True,
         rng: Optional[Rng] = None,
         true_spin: bool = False,
+        registry: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.machine = machine
         self.engine = engine
@@ -143,6 +145,8 @@ class Scheduler:
         self.normal_live = 0
         self.threads: list[SimThread] = []
         engine.blocked_reporters.append(self._count_hard_blocked)
+        if registry is not None:
+            registry.register(f"sched.{name}", self.core_metrics)
         for core in self.cores:
             core.idle_thread = self._spawn_idle(core.id)
 
@@ -682,6 +686,22 @@ class Scheduler:
 
     def core_busy_ns(self) -> list[int]:
         return [c.busy_ns for c in self.cores]
+
+    def core_metrics(self) -> dict[str, dict[str, int]]:
+        """Per-core scheduler counters for the metrics registry.
+
+        Flattens to ``sched.<node>.core<N>.busy_ns`` etc.; keypoint
+        counts are broken out per kind (``keypoints.idle`` ...).
+        """
+        out: dict[str, dict[str, int]] = {}
+        for core in self.cores:
+            out[f"core{core.id}"] = {
+                "busy_ns": core.busy_ns,
+                "ctx_switches": core.ctx_switches,
+                "timer_ticks": core.timer_ticks,
+                "keypoints": {k.value: n for k, n in core.keypoint_counts.items()},
+            }
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Scheduler {self.name} cores={len(self.cores)} live={self.normal_live}>"

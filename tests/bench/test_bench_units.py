@@ -58,6 +58,40 @@ def test_format_microbench_with_targets():
     assert "execution shares" in text or res.global_row.shares == {}
 
 
+def test_format_microbench_zero_paper_target_not_missing():
+    """A legitimate 0 ns paper target renders as 0, not as '-'."""
+    m = smp(2, 2)
+    res = run_task_microbench(m, reps=20)
+    text = format_microbench(res, paper={"core#0": 0})
+    row = next(l for l in text.splitlines() if l.startswith("core#0"))
+    assert f"{0:>10}" in row  # the target column shows the 0
+    assert row.rstrip().endswith("-")  # no ratio (division by zero)
+
+
+def test_format_latency_ragged_thread_counts():
+    """Series measured over different thread grids must not crash."""
+    from repro.bench.latency import LatencyPoint, LatencySeries
+
+    full = LatencySeries(
+        impl="PIOMan",
+        points=[
+            LatencyPoint(1, 10_000, 9_000, 11_000),
+            LatencyPoint(2, 12_000, 11_000, 13_000),
+            LatencyPoint(4, 15_000, 14_000, 16_000),
+        ],
+    )
+    short = LatencySeries(
+        impl="Baseline",
+        points=[LatencyPoint(2, 40_000, 30_000, 50_000)],
+    )
+    text = format_latency([full, short], tails=True)
+    lines = text.splitlines()
+    # union of thread counts, one row each; missing cells show "-"
+    assert [l.split()[0] for l in lines[2:]] == ["1", "2", "4"]
+    assert "-" in lines[2] and "-" in lines[4]
+    assert "40.00" in lines[3]
+
+
 def test_latency_once_sane():
     p = run_latency_once(MadMPI, 1, iters_per_thread=2, warmup=1)
     assert 1_000 < p.mean_one_way_ns < 100_000

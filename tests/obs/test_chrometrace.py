@@ -1,0 +1,99 @@
+"""Chrome-trace export: JSON schema validity, task lifetime slices."""
+
+import json
+
+from repro.bench.task_microbench import measure_queue
+from repro.obs import MetricsRegistry, chrome_trace, write_chrome_trace
+from repro.sim.trace import Tracer
+from repro.topology import borderline
+
+
+def _instrumented_run(reps=10):
+    machine = borderline()
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry()
+    measure_queue(
+        machine, machine.all_cores(), label="global", reps=reps,
+        registry=registry, tracer=tracer,
+    )
+    return tracer, registry
+
+
+def test_chrome_trace_schema_is_valid_json():
+    tracer, _ = _instrumented_run()
+    doc = chrome_trace(tracer)
+    # must survive a JSON round-trip (no stray objects in args)
+    doc2 = json.loads(json.dumps(doc))
+    assert isinstance(doc2["traceEvents"], list) and doc2["traceEvents"]
+    assert doc2["displayTimeUnit"] == "ns"
+    for ev in doc2["traceEvents"]:
+        assert {"ph", "name", "pid"} <= set(ev)
+        if ev["ph"] != "M":  # metadata events carry no timestamp
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+
+
+def test_task_lifetimes_become_duration_slices():
+    tracer, _ = _instrumented_run(reps=8)
+    doc = chrome_trace(tracer)
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 8  # one per completed bench task
+    for s in slices:
+        assert s["args"]["queue"] == "q:machine"
+        assert s["args"]["complete"] is True
+        assert isinstance(s["args"]["core"], int)
+    submits = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "i" and e["name"].startswith("submit ")
+    ]
+    assert len(submits) == 8
+    # submit marker precedes its task's run slice
+    by_name = {s["name"]: s for s in slices}
+    for sub in submits:
+        task = sub["name"].removeprefix("submit ")
+        assert sub["ts"] <= by_name[task]["ts"]
+
+
+def test_core_tracks_are_named_threads():
+    tracer, _ = _instrumented_run()
+    doc = chrome_trace(tracer)
+    names = [
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert any(n.startswith("core") for n in names)
+    # every non-metadata event lands on a declared track
+    tids = {
+        e["tid"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    for ev in doc["traceEvents"]:
+        if ev["ph"] != "M":
+            assert ev["tid"] in tids
+
+
+def test_write_chrome_trace_file(tmp_path):
+    tracer, _ = _instrumented_run(reps=5)
+    out = tmp_path / "trace.json"
+    n = write_chrome_trace(str(out), tracer)
+    doc = json.loads(out.read_text())
+    assert len(doc["traceEvents"]) == n
+    assert doc["otherData"]["recorded"] == len(tracer.records)
+    assert doc["otherData"]["dropped"] == 0
+
+
+def test_empty_tracer_still_valid():
+    doc = chrome_trace(Tracer(enabled=True))
+    assert json.loads(json.dumps(doc))["traceEvents"][0]["ph"] == "M"
+
+
+def test_dropped_records_reported():
+    t = Tracer(enabled=True, limit=3)
+    for i in range(10):
+        t.emit(i, "c", "a", f"m{i}")
+    doc = chrome_trace(t)
+    assert doc["otherData"]["dropped"] == 7
+    assert doc["otherData"]["recorded"] == 3

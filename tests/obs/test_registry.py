@@ -1,0 +1,127 @@
+"""MetricsRegistry: scraping, snapshot/diff round-trips, path stability."""
+
+import pytest
+
+from repro.core.manager import PIOMan
+from repro.core.queues import QueueStats
+from repro.obs import MetricsRegistry
+from repro.sim.engine import Engine
+from repro.sync.stats import LockStats
+from repro.threads.scheduler import Scheduler
+from repro.topology import borderline
+
+
+# ------------------------------------------------------------- scraping
+def test_snapshot_flattens_dataclass_fields_and_dicts():
+    reg = MetricsRegistry()
+    st = QueueStats(enqueues=3, dequeues=2, dequeued_by={0: 1, 5: 1})
+    reg.register("pioman.q:core0", st)
+    snap = reg.snapshot()
+    assert snap["pioman.q:core0.enqueues"] == 3
+    assert snap["pioman.q:core0.dequeued_by.0"] == 1
+    assert snap["pioman.q:core0.dequeued_by.5"] == 1
+
+
+def test_snapshot_includes_numeric_properties():
+    reg = MetricsRegistry()
+    st = LockStats()
+    st.note_acquire(0, contended=False)
+    st.note_acquire(1, contended=True, spin_ns=50)
+    reg.register("lock", st)
+    snap = reg.snapshot()
+    assert snap["lock.contention_ratio"] == pytest.approx(0.5)
+    assert snap["lock.acquires"] == 2
+    assert snap["lock.per_core_acquires.1"] == 1
+
+
+def test_callable_source_and_mapping_source():
+    reg = MetricsRegistry()
+    reg.register("derived", lambda: {"ratio": 0.25, "nested": {"a": 1}})
+    reg.register("plain", {"x": 7})
+    snap = reg.snapshot()
+    assert snap["derived.ratio"] == 0.25
+    assert snap["derived.nested.a"] == 1
+    assert snap["plain.x"] == 7
+
+
+def test_non_numeric_leaves_are_skipped():
+    reg = MetricsRegistry()
+    reg.register("src", {"name": "q:core0", "count": 1, "obj": object()})
+    assert reg.snapshot() == {"src.count": 1}
+
+
+# -------------------------------------------------------- registration
+def test_duplicate_path_rejected_unless_replace():
+    reg = MetricsRegistry()
+    reg.register("a.b", {"x": 1})
+    with pytest.raises(ValueError):
+        reg.register("a.b", {"x": 2})
+    reg.register("a.b", {"x": 2}, replace=True)
+    assert reg.snapshot() == {"a.b.x": 2}
+    reg.unregister("a.b")
+    assert len(reg) == 0 and "a.b" not in reg
+
+
+def test_invalid_paths_rejected():
+    reg = MetricsRegistry()
+    for bad in ("", ".lead", "trail."):
+        with pytest.raises(ValueError):
+            reg.register(bad, {"x": 1})
+
+
+# ------------------------------------------------------------- diffing
+def test_diff_shows_only_moved_counters():
+    reg = MetricsRegistry()
+    st = QueueStats()
+    reg.register("q", st)
+    before = reg.snapshot()
+    st.enqueues += 4
+    st.lost_races += 1
+    after = reg.snapshot()
+    delta = MetricsRegistry.diff(before, after)
+    assert delta == {"q.enqueues": 4, "q.lost_races": 1}
+    assert MetricsRegistry.diff(after, after) == {}
+
+
+def test_diff_treats_missing_keys_as_zero():
+    a = {"x": 3}
+    b = {"x": 3, "y": 2}
+    assert MetricsRegistry.diff(a, b) == {"y": 2}
+    assert MetricsRegistry.diff(b, a) == {"y": -2}
+
+
+# ----------------------------------------------- dot-path stability
+def test_pioman_registration_paths_are_stable():
+    """The dot-paths below are a public contract — regression gates and
+    dashboards key on them.  Renaming any of these is an API change."""
+    machine = borderline()
+    engine = Engine()
+    reg = MetricsRegistry()
+    sched = Scheduler(machine, engine, registry=reg)
+    PIOMan(machine, engine, sched, registry=reg)
+    snap = reg.snapshot()
+    expected = [
+        "pioman.submits",
+        "pioman.tasks_completed",
+        "pioman.schedule_passes",
+        "pioman.q:machine.lost_races",
+        "pioman.q:machine.lock.contention_ratio",
+        "pioman.q:machine.lock.mem.invalidations",
+        "pioman.q:machine.mem.reads",
+        "pioman.q:core#0.enqueues",
+        "pioman.q:chip#0.lock.acquires",
+        "sched.node0.core0.busy_ns",
+        "sched.node0.core0.keypoints.idle",
+    ]
+    for path in expected:
+        assert path in snap, f"missing stable path {path}"
+
+
+def test_report_groups_by_top_segment():
+    reg = MetricsRegistry()
+    reg.register("pioman", {"submits": 2})
+    reg.register("sched.node0", {"busy": 10})
+    text = reg.report()
+    assert "== pioman ==" in text and "== sched ==" in text
+    assert "submits" in text
+    assert MetricsRegistry().report() == "(no metrics registered)"

@@ -73,6 +73,38 @@ def test_tracer_limit_drops():
     assert len(t) == 2 and t.dropped == 3
 
 
+def test_tracer_limit_keeps_earliest_records():
+    t = Tracer(enabled=True, limit=3)
+    for i in range(6):
+        t.emit(i, "c", "a", f"m{i}")
+    assert [r.message for r in t.records] == ["m0", "m1", "m2"]
+    assert t.dropped == 3
+
+
+def test_tracer_disabled_emits_do_not_count_as_dropped():
+    t = Tracer(enabled=False, limit=1)
+    for i in range(4):
+        t.emit(i, "c", "a", "m")
+    assert len(t) == 0 and t.dropped == 0
+
+
+def test_tracer_clear_resets_dropped_and_capacity():
+    t = Tracer(enabled=True, limit=2)
+    for i in range(4):
+        t.emit(i, "c", "a", "m")
+    assert t.dropped == 2
+    t.clear()
+    assert t.dropped == 0
+    t.emit(9, "c", "a", "after")  # capacity is available again
+    assert len(t) == 1 and t.dropped == 0
+
+
+def test_tracer_limit_zero_drops_everything():
+    t = Tracer(enabled=True, limit=0)
+    t.emit(1, "c", "a", "m")
+    assert len(t) == 0 and t.dropped == 1
+
+
 def test_tracer_dump_and_clear():
     t = Tracer(enabled=True)
     t.emit(10, "c", "a", "hello")
