@@ -10,6 +10,8 @@ Usage::
     python -m repro.bench all --json results.json   # machine-readable dump
     python -m repro.bench scalability bandwidth     # extensions
     python -m repro.bench table1 --metrics-out m.json --trace-out t.json
+    python -m repro.bench analyze --trace t.json    # offline trace analysis
+    python -m repro.bench analyze --trace t.json --analysis-out a.json
 
 (also installed as the ``repro-bench`` console script).
 """
@@ -51,7 +53,41 @@ def _ints(text: str) -> list[int]:
     return [int(x) for x in text.split(",") if x]
 
 
+def _analyze_main(argv: Sequence[str]) -> int:
+    """The ``analyze`` subcommand: offline report over a --trace-out file."""
+    from repro.obs.analyze import analyze_trace_file, format_analysis
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench analyze",
+        description="Analyze a --trace-out JSON file: per-core utilization, "
+        "submit→run latency percentiles per queue level, lock contention, "
+        "slowest tasks.",
+    )
+    ap.add_argument("--trace", metavar="PATH", required=True,
+                    help="Chrome-trace JSON written by --trace-out")
+    ap.add_argument("--top", type=int, default=10,
+                    help="how many slowest tasks to list (default 10)")
+    ap.add_argument("--cores", type=int, default=None,
+                    help="force the per-core section to cover N cores "
+                    "(default: the count stamped in the trace, else the "
+                    "cores observed)")
+    ap.add_argument("--analysis-out", metavar="PATH", default=None,
+                    help="also dump the analysis as JSON to PATH")
+    args = ap.parse_args(argv)
+    analysis = analyze_trace_file(args.trace, ncores=args.cores, top_n=args.top)
+    print(format_analysis(analysis))
+    if args.analysis_out:
+        with open(args.analysis_out, "w") as fh:
+            json.dump(analysis.to_jsonable(), fh, indent=1)
+        print(f"\nwrote {args.analysis_out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        return _analyze_main(list(argv[1:]))
     ap = argparse.ArgumentParser(
         prog="repro-bench", description="Regenerate the paper's tables and figures."
     )
@@ -96,6 +132,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     observe = args.metrics_out or args.trace_out
     registry = tracer = None
     instrumented: Optional[str] = None
+    inst_machine = None
     if observe:
         from repro.obs import MetricsRegistry
         from repro.sim.trace import Tracer
@@ -115,6 +152,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             if attach:
                 instrumented = f"{target} global-queue row ({machine_name})"
+                inst_machine = machine
             print(f"\n=== {target.upper()} ({machine_name}) ===")
             print(format_microbench(res, paper=targets_for(machine_name)))
             collected[target] = _to_jsonable(res)
@@ -165,6 +203,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 tracer=tracer,
             )
             instrumented = "dedicated global-queue run (borderline)"
+            inst_machine = machine
         if args.metrics_out:
             snap = registry.snapshot()
             with open(args.metrics_out, "w") as fh:
@@ -173,7 +212,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.trace_out:
             from repro.obs import write_chrome_trace
 
-            nevents = write_chrome_trace(args.trace_out, tracer)
+            meta = {"source": instrumented}
+            if inst_machine is not None:
+                meta["machine"] = inst_machine.spec.name
+                meta["ncores"] = inst_machine.ncores
+            nevents = write_chrome_trace(args.trace_out, tracer, meta=meta)
             print(f"wrote {args.trace_out} ({nevents} trace events, {instrumented})")
     if args.json:
         with open(args.json, "w") as fh:

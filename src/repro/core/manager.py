@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 from repro.core.hierarchy import QueueFactory, QueueHierarchy
 from repro.core.queues import TaskQueue
 from repro.core.task import LTask, TaskState
+from repro.obs.histogram import Histogram
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.threads.flag import Flag
 from repro.threads.instructions import Compute, Instr, SetFlag
@@ -57,6 +58,26 @@ class PIOManStats:
         self.executions_by_core[core] = self.executions_by_core.get(core, 0) + 1
 
 
+@dataclass
+class PIOManLatency:
+    """Lifecycle-span distributions, registered under ``<name>.latency``.
+
+    Field names are metric-path segments (``pioman.latency.
+    submit_to_complete.p99`` ...): renaming one is an API change.
+    """
+
+    #: submission → completion, the full round the paper's tables time
+    submit_to_complete: Histogram = field(default_factory=Histogram)
+    #: submission → first poll by any core (aggregate across queues; each
+    #: queue also keeps its own per-poll ``wait_ns`` distribution)
+    queue_wait: Histogram = field(default_factory=Histogram)
+    #: Algorithm-1 pass duration when at least one task ran
+    schedule_pass_productive: Histogram = field(default_factory=Histogram)
+    #: Algorithm-1 pass duration when the whole scan came up empty — the
+    #: steady-state cost every idle core pays per keypoint
+    schedule_pass_empty: Histogram = field(default_factory=Histogram)
+
+
 class PIOMan:
     """The lightweight task scheduling system (the paper's contribution)."""
 
@@ -82,9 +103,15 @@ class PIOMan:
             machine, engine, queue_factory=queue_factory, hierarchical=hierarchical
         )
         self.stats = PIOManStats()
+        self.latency = PIOManLatency()
+        # Locks report contended handoffs onto the same trace stream, so
+        # the analyzer can line contention intervals up with task slices.
+        for queue in self.hierarchy.queues():
+            queue.lock.tracer = tracer
         if registry is not None:
             registry.register(name, self.stats)
             registry.register(f"{name}.shares", self.execution_shares)
+            registry.register(f"{name}.latency", self.latency)
             for queue in self.hierarchy.queues():
                 queue.register_into(registry, prefix=name)
         if scheduler is not None:
@@ -229,6 +256,7 @@ class PIOMan:
         ran = 0
         repeats = 0
         contended = False
+        pass_start = self.engine.now
         self.stats.schedule_passes += 1
         # Fast path: probe the whole scan path first and charge one batch
         # of read costs.  When everything is (visibly) empty — by far the
@@ -242,6 +270,7 @@ class PIOMan:
             any_hot = any_hot or visible
         yield Compute(total_cost)
         if not any_hot:
+            self.latency.schedule_pass_empty.record(self.engine.now - pass_start)
             return 0, 0, False
         for queue in path:
             seen: set[int] = set()
@@ -261,6 +290,11 @@ class PIOMan:
                 ran += 1
                 if not complete:
                     repeats += 1
+        pass_ns = self.engine.now - pass_start
+        if ran:
+            self.latency.schedule_pass_productive.record(pass_ns)
+        else:
+            self.latency.schedule_pass_empty.record(pass_ns)
         return ran, repeats, contended
 
     def _run_task(
@@ -268,6 +302,10 @@ class PIOMan:
     ) -> Generator[Instr, Any, bool]:
         spec = self.machine.spec
         t0 = self.engine.now
+        if task.executions == 0 and task.submit_time is not None:
+            # First poll of this submission: close the queue-wait span.
+            first = task.first_polled_at if task.first_polled_at is not None else t0
+            self.latency.queue_wait.record(first - task.submit_time)
         yield Compute(spec.task_run_ns + task.cost_ns)
         complete = task.run(core)
         self.stats.note_exec(core)
@@ -282,6 +320,10 @@ class PIOMan:
             return False
         task.state = TaskState.DONE
         task.complete_time = self.engine.now
+        if task.submit_time is not None:
+            self.latency.submit_to_complete.record(
+                self.engine.now - task.submit_time
+            )
         self.stats.tasks_completed += 1
         if task.completion is not None:
             yield SetFlag(task.completion)

@@ -51,9 +51,13 @@ def piom_wait(
         pioman.scheduler.cores[core].keypoint_counts[Keypoint.WAIT] += 1
     from repro.threads.instructions import Compute
 
+    sched = pioman.scheduler
     misses = 0
     while not flag.is_set:
+        t0 = pioman.engine.now
         ran = (yield from pioman.schedule_once(core))[0]
+        if sched is not None:
+            sched.keypoint_ns[Keypoint.WAIT].record(pioman.engine.now - t0)
         if flag.is_set:
             return
         if ran == 0:

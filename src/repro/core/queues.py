@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.mem.cacheline import CacheLine, MemStats
+from repro.obs.histogram import Histogram
 from repro.sync.spinlock import SpinLock
 from repro.sync.stats import LockStats
 from repro.threads.instructions import Acquire, Compute, Instr, Release
@@ -50,6 +51,9 @@ class QueueStats:
     lost_races: int = 0  # saw non-empty, locked, found empty
     max_len: int = 0
     dequeued_by: dict[int, int] = field(default_factory=dict)
+    #: per-poll queue-wait distribution: enqueue → dequeue span of every
+    #: task this queue handed out (registry paths ``wait_ns.p50`` ...)
+    wait_ns: Histogram = field(default_factory=Histogram)
 
 
 class TaskQueue:
@@ -149,6 +153,7 @@ class TaskQueue:
         self._tasks.append(task)
         task.state = TaskState.QUEUED
         task.queue_name = self.name
+        task.enqueued_at = self.engine.now
         self.stats.enqueues += 1
         if len(self._tasks) > self.stats.max_len:
             self.stats.max_len = len(self._tasks)
@@ -169,6 +174,7 @@ class TaskQueue:
         self._tasks.append(task)
         task.state = TaskState.QUEUED
         task.queue_name = self.name
+        task.enqueued_at = self.engine.now
         self.stats.enqueues += 1
         if len(self._tasks) > self.stats.max_len:
             self.stats.max_len = len(self._tasks)
@@ -186,13 +192,21 @@ class TaskQueue:
             cost += self.state_line.write_async(core)
             if not self._tasks:
                 self._note_transition(core, prev_nonempty=True)
-            self.stats.dequeues += 1
-            self.stats.dequeued_by[core] = self.stats.dequeued_by.get(core, 0) + 1
+            self._note_dequeued(core, task)
         elif not self._tasks:
             self.stats.lost_races += 1
         yield Compute(cost)
         yield self._release()
         return task
+
+    def _note_dequeued(self, core: int, task: LTask) -> None:
+        """Span bookkeeping for a successful dequeue (host-instant)."""
+        self.stats.dequeues += 1
+        self.stats.dequeued_by[core] = self.stats.dequeued_by.get(core, 0) + 1
+        if task.enqueued_at is not None:
+            self.stats.wait_ns.record(self.engine.now - task.enqueued_at)
+        if task.first_polled_at is None:
+            task.first_polled_at = self.engine.now
 
     def _pop_eligible(self, core: int) -> Optional[LTask]:
         """Remove and return the first task ``core`` may execute.
@@ -245,8 +259,7 @@ class AlwaysLockTaskQueue(TaskQueue):
             cost += self.state_line.write_async(core)
             if not self._tasks:
                 self._note_transition(core, prev_nonempty=True)
-            self.stats.dequeues += 1
-            self.stats.dequeued_by[core] = self.stats.dequeued_by.get(core, 0) + 1
+            self._note_dequeued(core, task)
         else:
             self.stats.empty_checks += 1
         yield Compute(cost)

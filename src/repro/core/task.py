@@ -67,6 +67,8 @@ class LTask:
         "executed_by",
         "queue_name",
         "current_core",
+        "enqueued_at",
+        "first_polled_at",
     )
 
     def __init__(
@@ -103,6 +105,42 @@ class LTask:
         self.queue_name = ""
         #: core currently (or last) executing this task's function
         self.current_core: Optional[int] = None
+        #: lifecycle spans (virtual-time stamps, set by queue/manager):
+        #: when the task last entered a queue (re-stamped on repeat
+        #: re-enqueues, so dequeue-time minus this is the *per-poll* wait)
+        self.enqueued_at: Optional[int] = None
+        #: when a core first picked the task up (queue-wait span end)
+        self.first_polled_at: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle spans
+    # ------------------------------------------------------------------
+    @property
+    def submitted_at(self) -> Optional[int]:
+        """Span alias: virtual time of submission (``submit_time``)."""
+        return self.submit_time
+
+    @property
+    def completed_at(self) -> Optional[int]:
+        """Span alias: virtual time of completion (``complete_time``)."""
+        return self.complete_time
+
+    @property
+    def poll_attempts(self) -> int:
+        """How many times a core polled (ran) this task's function."""
+        return self.executions
+
+    def queue_wait_ns(self) -> Optional[int]:
+        """Submission → first poll: how long the task sat unserved."""
+        if self.submit_time is None or self.first_polled_at is None:
+            return None
+        return self.first_polled_at - self.submit_time
+
+    def latency_ns(self) -> Optional[int]:
+        """Submission → completion: the full lifecycle span."""
+        if self.submit_time is None or self.complete_time is None:
+            return None
+        return self.complete_time - self.submit_time
 
     # ------------------------------------------------------------------
     @property
@@ -139,6 +177,8 @@ class LTask:
         self.submit_core = None
         self.submit_time = None
         self.complete_time = None
+        self.enqueued_at = None
+        self.first_polled_at = None
 
     def __repr__(self) -> str:
         return (

@@ -1,21 +1,44 @@
-"""Unified observability: metrics registry + Chrome-trace export.
+"""Unified observability: metrics registry, latency histograms,
+Chrome-trace export, and offline trace analysis.
 
-Two complementary views of one simulation run:
+Complementary views of one simulation run:
 
 * :class:`MetricsRegistry` — every stats-bearing object (task queues,
   spinlocks, cache lines, PIOMan, scheduler cores, NICs, nmad gates)
   registered under a stable dot-path; ``snapshot()``/``diff()`` give the
   machine-readable counters the paper's tables are built from.
+* :class:`Histogram` — power-of-two log-bucketed latency distributions
+  (queue wait, submit→complete, lock wait/hold, keypoint pass duration),
+  scraped into stable ``….p50/.p90/.p99`` registry paths.
 * :func:`chrome_trace` / :func:`write_chrome_trace` — convert a
   :class:`repro.sim.trace.Tracer` into a chrome://tracing / Perfetto
   timeline with task lifetimes as per-core slices.
+* :func:`analyze_trace` / :func:`format_analysis` — offline analysis of a
+  live tracer or an exported trace file: per-core utilization, per-level
+  submit→run percentiles, lock contention, slowest tasks.
 
-Both are wired through the bench CLI (``--metrics-out`` / ``--trace-out``)
-so every benchmark run can emit its internals next to its paper-shaped
-table.
+All are wired through the bench CLI (``--metrics-out`` / ``--trace-out`` /
+``analyze``) so every benchmark run can emit and inspect its internals
+next to its paper-shaped table.
 """
 
+from repro.obs.analyze import (
+    TraceAnalysis,
+    analyze_trace,
+    analyze_trace_file,
+    format_analysis,
+)
 from repro.obs.chrometrace import chrome_trace, write_chrome_trace
+from repro.obs.histogram import Histogram
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["MetricsRegistry", "chrome_trace", "write_chrome_trace"]
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "TraceAnalysis",
+    "analyze_trace",
+    "analyze_trace_file",
+    "chrome_trace",
+    "format_analysis",
+    "write_chrome_trace",
+]

@@ -1,0 +1,440 @@
+"""Offline trace analysis — turn a trace into the paper's numbers.
+
+The Chrome-trace export (:mod:`repro.obs.chrometrace`) is write-only: you
+need a browser to learn anything from it.  This module closes the loop —
+it ingests either a live :class:`repro.sim.trace.Tracer` or a previously
+written ``--trace-out`` JSON file and computes the distributions the
+paper's scalability argument is made of (§IV-A, Tables I/II):
+
+* **per-core busy/idle utilization** — task-execution time per core over
+  the traced span (the execution-share tables, as time instead of counts);
+* **submit→run latency percentiles per queue level** — how long a task
+  submitted to a core/cache/chip/NUMA/global queue waited before any core
+  picked it up, the quantity Table I/II's level analysis is about;
+* **lock-contention intervals** — contended acquisitions per lock with
+  wait-time percentiles (the level-3 global-queue storms);
+* **top-N slowest tasks** — the tail, named, so a regression has a
+  concrete task to look at.
+
+``python -m repro.bench analyze --trace t.json`` renders the result as a
+topology-grouped text report (cores first, then queue levels innermost to
+outermost) and optionally as JSON (``--analysis-out``) for regression
+gates.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+#: queue-level display names, innermost first — "node" is the paper's name
+#: for the NUMA level, "global" for the machine-spanning root queue
+LEVEL_ORDER = ("core", "cache", "chip", "node", "global")
+
+_LEVEL_ALIASES = {
+    "core": "core",
+    "cache": "cache",
+    "chip": "chip",
+    "numa": "node",
+    "node": "node",
+    "machine": "global",
+    "global": "global",
+}
+
+
+def queue_level(queue_name: str) -> str:
+    """Map a queue name (``q:core#3``, ``q:machine``) to its level name."""
+    name = queue_name
+    if name.startswith("q:"):
+        name = name[2:]
+    token = name.split("#", 1)[0]
+    return _LEVEL_ALIASES.get(token, token or "unknown")
+
+
+def _percentile(sorted_vals: list[int], p: float) -> int:
+    """Exact nearest-rank percentile of a pre-sorted sample list."""
+    if not sorted_vals:
+        return 0
+    rank = max(1, -(-len(sorted_vals) * p // 100))  # ceil
+    return sorted_vals[int(rank) - 1]
+
+
+# ---------------------------------------------------------------------------
+# normalized events (the common denominator of both ingest paths)
+# ---------------------------------------------------------------------------
+@dataclass
+class _Run:
+    task: str
+    core: int
+    queue: str
+    start: int
+    end: int
+    complete: bool
+
+
+@dataclass
+class _Submit:
+    task: str
+    core: int
+    queue: str
+    time: int
+
+
+@dataclass
+class _LockWait:
+    lock: str
+    core: int
+    wait_ns: int
+    start: int
+    end: int
+
+
+# ---------------------------------------------------------------------------
+# analysis result
+# ---------------------------------------------------------------------------
+@dataclass
+class CoreReport:
+    core: int
+    busy_ns: int = 0
+    runs: int = 0
+    completions: int = 0
+    utilization: float = 0.0
+
+    @property
+    def idle_fraction(self) -> float:
+        return 1.0 - self.utilization
+
+
+@dataclass
+class LevelLatency:
+    """Submit→first-run latency distribution for one queue level."""
+
+    level: str
+    count: int
+    p50_ns: int
+    p99_ns: int
+    max_ns: int
+    mean_ns: float
+
+
+@dataclass
+class LockReport:
+    lock: str
+    contended: int
+    total_wait_ns: int
+    p50_wait_ns: int
+    max_wait_ns: int
+
+
+@dataclass
+class SlowTask:
+    task: str
+    latency_ns: int
+    core: int
+    queue: str
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything the offline analyzer derives from one trace."""
+
+    t_start: int = 0
+    t_end: int = 0
+    submits: int = 0
+    runs: int = 0
+    completions: int = 0
+    #: submits with no observed run slice (trace truncated / task pending)
+    unmatched_submits: int = 0
+    cores: list[CoreReport] = field(default_factory=list)
+    levels: list[LevelLatency] = field(default_factory=list)
+    locks: list[LockReport] = field(default_factory=list)
+    slowest: list[SlowTask] = field(default_factory=list)
+
+    @property
+    def span_ns(self) -> int:
+        return self.t_end - self.t_start
+
+    def level(self, name: str) -> Optional[LevelLatency]:
+        for lv in self.levels:
+            if lv.level == name:
+                return lv
+        return None
+
+    def to_jsonable(self) -> dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["span_ns"] = self.span_ns
+        for core in out["cores"]:
+            core["idle_fraction"] = 1.0 - core["utilization"]
+        return out
+
+
+# ---------------------------------------------------------------------------
+# ingestion
+# ---------------------------------------------------------------------------
+def _events_from_tracer(tracer) -> tuple[list[_Run], list[_Submit], list[_LockWait]]:
+    runs: list[_Run] = []
+    submits: list[_Submit] = []
+    locks: list[_LockWait] = []
+    for rec in tracer.records:
+        data = rec.data or {}
+        phase = data.get("phase")
+        if phase == "run" and "start" in data:
+            start = min(data["start"], rec.time)
+            runs.append(
+                _Run(
+                    task=str(data.get("task") or rec.message),
+                    core=int(data.get("core", -1)),
+                    queue=str(data.get("queue", "")),
+                    start=start,
+                    end=rec.time,
+                    complete=bool(data.get("complete")),
+                )
+            )
+        elif phase == "submit":
+            submits.append(
+                _Submit(
+                    task=str(data.get("task") or rec.message),
+                    core=int(data.get("core", -1)),
+                    queue=str(data.get("queue", "")),
+                    time=rec.time,
+                )
+            )
+        elif phase == "lock":
+            start = min(data.get("start", rec.time), rec.time)
+            locks.append(
+                _LockWait(
+                    lock=str(data.get("lock", "")),
+                    core=int(data.get("core", -1)),
+                    wait_ns=int(data.get("wait_ns", rec.time - start)),
+                    start=start,
+                    end=rec.time,
+                )
+            )
+    return runs, submits, locks
+
+
+def _events_from_doc(doc: dict) -> tuple[list[_Run], list[_Submit], list[_LockWait]]:
+    runs: list[_Run] = []
+    submits: list[_Submit] = []
+    locks: list[_LockWait] = []
+    for ev in doc.get("traceEvents", ()):
+        ph = ev.get("ph")
+        args = ev.get("args") or {}
+        if ph == "X":
+            start = int(round(ev["ts"] * 1000))
+            runs.append(
+                _Run(
+                    task=str(ev.get("name", "")),
+                    core=int(args.get("core", -1)),
+                    queue=str(args.get("queue", "")),
+                    start=start,
+                    end=start + int(round(ev.get("dur", 0) * 1000)),
+                    complete=bool(args.get("complete")),
+                )
+            )
+        elif ph == "i":
+            t = int(round(ev.get("ts", 0) * 1000))
+            if "wait_ns" in args and "lock" in args:
+                start = int(args.get("start", t))
+                locks.append(
+                    _LockWait(
+                        lock=str(args["lock"]),
+                        core=int(args.get("core", -1)),
+                        wait_ns=int(args["wait_ns"]),
+                        start=min(start, t),
+                        end=t,
+                    )
+                )
+            elif str(ev.get("name", "")).startswith("submit ") or (
+                "task" in args and "queue" in args
+            ):
+                task = args.get("task") or str(ev["name"])[len("submit "):]
+                submits.append(
+                    _Submit(
+                        task=str(task),
+                        core=int(args.get("core", -1)),
+                        queue=str(args.get("queue", "")),
+                        time=t,
+                    )
+                )
+    return runs, submits, locks
+
+
+# ---------------------------------------------------------------------------
+# the analysis itself
+# ---------------------------------------------------------------------------
+TraceSource = Union["Tracer", dict]  # noqa: F821 - Tracer duck-typed
+
+
+def analyze_trace(
+    source: TraceSource, *, ncores: Optional[int] = None, top_n: int = 10
+) -> TraceAnalysis:
+    """Analyze a live ``Tracer`` or a loaded Chrome-trace document.
+
+    ``ncores`` forces the per-core report to cover cores that emitted no
+    events (an idle core is a result, not a gap); when the source is a
+    ``--trace-out`` file written by the bench CLI, the core count stamped
+    into ``otherData`` is used automatically.
+    """
+    if hasattr(source, "records"):
+        runs, submits, locks = _events_from_tracer(source)
+    else:
+        runs, submits, locks = _events_from_doc(source)
+        if ncores is None:
+            meta_n = (source.get("otherData") or {}).get("ncores")
+            ncores = int(meta_n) if meta_n else None
+
+    out = TraceAnalysis(submits=len(submits), runs=len(runs))
+    times = (
+        [r.start for r in runs]
+        + [r.end for r in runs]
+        + [s.time for s in submits]
+        + [lk.start for lk in locks]
+        + [lk.end for lk in locks]
+    )
+    if times:
+        out.t_start, out.t_end = min(times), max(times)
+    span = max(out.span_ns, 1)
+
+    # -- per-core busy/idle utilization --------------------------------
+    max_core = max(
+        [r.core for r in runs] + [s.core for s in submits] + [lk.core for lk in locks],
+        default=-1,
+    )
+    n = max(ncores or 0, max_core + 1)
+    cores = [CoreReport(core=c) for c in range(n)]
+    for r in runs:
+        if 0 <= r.core < n:
+            rep = cores[r.core]
+            rep.busy_ns += r.end - r.start
+            rep.runs += 1
+            if r.complete:
+                rep.completions += 1
+    for rep in cores:
+        rep.utilization = rep.busy_ns / span
+    out.cores = cores
+    out.completions = sum(c.completions for c in cores)
+
+    # -- submit→run latency per queue level ----------------------------
+    runs_by_task: dict[str, list[tuple[int, _Run]]] = {}
+    for r in sorted(runs, key=lambda r: r.start):
+        runs_by_task.setdefault(r.task, []).append((r.start, r))
+    per_level: dict[str, list[int]] = {}
+    slow: list[SlowTask] = []
+    for sub in submits:
+        entries = runs_by_task.get(sub.task)
+        if not entries:
+            out.unmatched_submits += 1
+            continue
+        starts = [t for t, _ in entries]
+        i = bisect.bisect_left(starts, sub.time)
+        if i >= len(entries):
+            out.unmatched_submits += 1
+            continue
+        first = entries[i][1]
+        per_level.setdefault(queue_level(sub.queue), []).append(
+            first.start - sub.time
+        )
+        # completion = the first completing run at/after the submit
+        for _, r in entries[i:]:
+            if r.complete:
+                slow.append(
+                    SlowTask(
+                        task=sub.task,
+                        latency_ns=r.end - sub.time,
+                        core=r.core,
+                        queue=sub.queue,
+                    )
+                )
+                break
+    rank = {lv: i for i, lv in enumerate(LEVEL_ORDER)}
+    for level in sorted(per_level, key=lambda lv: rank.get(lv, len(rank))):
+        vals = sorted(per_level[level])
+        out.levels.append(
+            LevelLatency(
+                level=level,
+                count=len(vals),
+                p50_ns=_percentile(vals, 50),
+                p99_ns=_percentile(vals, 99),
+                max_ns=vals[-1],
+                mean_ns=sum(vals) / len(vals),
+            )
+        )
+    slow.sort(key=lambda s: -s.latency_ns)
+    out.slowest = slow[:top_n]
+
+    # -- lock contention ------------------------------------------------
+    by_lock: dict[str, list[int]] = {}
+    for lk in locks:
+        by_lock.setdefault(lk.lock, []).append(lk.wait_ns)
+    for lock in sorted(by_lock):
+        waits = sorted(by_lock[lock])
+        out.locks.append(
+            LockReport(
+                lock=lock,
+                contended=len(waits),
+                total_wait_ns=sum(waits),
+                p50_wait_ns=_percentile(waits, 50),
+                max_wait_ns=waits[-1],
+            )
+        )
+    return out
+
+
+def analyze_trace_file(
+    path: str, *, ncores: Optional[int] = None, top_n: int = 10
+) -> TraceAnalysis:
+    """Load a ``--trace-out`` JSON file and analyze it."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    return analyze_trace(doc, ncores=ncores, top_n=top_n)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def format_analysis(a: TraceAnalysis) -> str:
+    """Topology-grouped text report (cores, then levels inner→outer)."""
+    lines = [
+        f"== trace analysis: span {a.span_ns} ns, {a.submits} submits, "
+        f"{a.runs} runs, {a.completions} completions =="
+    ]
+    if a.unmatched_submits:
+        lines.append(f"   ({a.unmatched_submits} submits had no run slice)")
+    lines.append("== per-core utilization ==")
+    for c in a.cores:
+        lines.append(
+            f"  core{c.core:<3} busy {100 * c.utilization:6.2f}%  "
+            f"idle {100 * c.idle_fraction:6.2f}%  "
+            f"({c.runs} runs, {c.completions} completions, {c.busy_ns} ns)"
+        )
+    if not a.cores:
+        lines.append("  (no core activity traced)")
+    lines.append("== submit→run latency by queue level ==")
+    for lv in a.levels:
+        lines.append(
+            f"  {lv.level:<6} n={lv.count:<5} p50={lv.p50_ns:<8} "
+            f"p99={lv.p99_ns:<8} max={lv.max_ns:<8} mean={lv.mean_ns:.1f} ns"
+        )
+    if not a.levels:
+        lines.append("  (no submit/run pairs traced)")
+    lines.append("== lock contention ==")
+    for lk in a.locks:
+        lines.append(
+            f"  {lk.lock:<20} contended={lk.contended:<5} "
+            f"p50 wait={lk.p50_wait_ns:<8} max wait={lk.max_wait_ns:<8} "
+            f"total={lk.total_wait_ns} ns"
+        )
+    if not a.locks:
+        lines.append("  (no contended lock handoffs traced)")
+    lines.append(f"== top {len(a.slowest)} slowest tasks (submit→complete) ==")
+    for s in a.slowest:
+        lines.append(
+            f"  {s.task:<20} {s.latency_ns:>8} ns  core{s.core}  {s.queue}"
+        )
+    if not a.slowest:
+        lines.append("  (no completed tasks traced)")
+    return "\n".join(lines)

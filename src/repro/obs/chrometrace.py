@@ -26,7 +26,7 @@ events.  Timestamps are the simulator's integer nanoseconds divided by
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.trace import Tracer
@@ -43,8 +43,16 @@ def _safe_args(data: dict, *, drop: tuple[str, ...] = ()) -> dict[str, Any]:
     }
 
 
-def chrome_trace(tracer: "Tracer") -> dict[str, Any]:
-    """Render every record of ``tracer`` as a Trace Event Format document."""
+def chrome_trace(
+    tracer: "Tracer", *, meta: Optional[dict[str, Any]] = None
+) -> dict[str, Any]:
+    """Render every record of ``tracer`` as a Trace Event Format document.
+
+    ``meta`` entries are merged into ``otherData`` — the bench CLI stamps
+    the simulated machine's name and core count there so the offline
+    analyzer (:mod:`repro.obs.analyze`) can report on cores that emitted
+    no events at all.
+    """
     events: list[dict[str, Any]] = [
         {"ph": "M", "name": "process_name", "pid": 0, "args": {"name": "repro-sim"}}
     ]
@@ -69,6 +77,11 @@ def chrome_trace(tracer: "Tracer") -> dict[str, Any]:
         phase = data.get("phase")
         if phase == "run" and "start" in data:
             start = data["start"]
+            if start > rec.time:
+                # Malformed record (clock went backwards / bad producer):
+                # Perfetto rejects negative durations outright, so emit a
+                # zero-length slice at the record's end time instead.
+                start = rec.time
             events.append(
                 {
                     "name": data.get("task") or rec.message,
@@ -97,16 +110,37 @@ def chrome_trace(tracer: "Tracer") -> dict[str, Any]:
                     "args": _safe_args(data, drop=("phase",)),
                 }
             )
+    other: dict[str, Any] = {
+        "recorded": len(tracer.records),
+        "dropped": tracer.dropped,
+    }
+    if meta:
+        other.update(meta)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",
-        "otherData": {"recorded": len(tracer.records), "dropped": tracer.dropped},
+        "otherData": other,
     }
 
 
-def write_chrome_trace(path: str, tracer: "Tracer") -> int:
-    """Write ``tracer`` to ``path`` as loadable JSON; returns event count."""
-    doc = chrome_trace(tracer)
+def write_chrome_trace(
+    path: str,
+    tracer: "Tracer",
+    *,
+    compact: bool = True,
+    meta: Optional[dict[str, Any]] = None,
+) -> int:
+    """Write ``tracer`` to ``path`` as loadable JSON; returns event count.
+
+    ``compact=True`` (the default) writes single-line minimal-separator
+    JSON — pretty-printing with ``indent`` roughly triples file size on
+    large traces, and every consumer (Perfetto, chrome://tracing, the
+    analyzer) parses compact JSON just as happily.
+    """
+    doc = chrome_trace(tracer, meta=meta)
     with open(path, "w") as fh:
-        json.dump(doc, fh, indent=1)
+        if compact:
+            json.dump(doc, fh, separators=(",", ":"))
+        else:
+            json.dump(doc, fh, indent=1)
     return len(doc["traceEvents"])

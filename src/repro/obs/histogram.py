@@ -1,0 +1,161 @@
+"""Log-bucketed latency histograms.
+
+The paper's scalability argument (§IV-A, Tables I/II) is about
+*distributions*: how long a keypoint poll takes, how long a task waits in
+a queue before a core picks it up, how lock hold times stretch as core
+counts grow.  Plain counters (sums, means) hide exactly the tail behaviour
+those tables are about, so the distribution layer records every sample
+into a :class:`Histogram` with power-of-two buckets (HDR-histogram style):
+
+* bucket ``i`` holds samples whose ``bit_length`` is ``i`` — i.e. the
+  value range ``[2**(i-1), 2**i - 1]`` (bucket 0 holds exactly 0);
+* recording is O(1) and allocation-free after the first sample;
+* percentiles are resolved to the bucket upper bound, clamped into the
+  exact observed ``[min, max]``, which bounds the relative error of any
+  quantile by 2x — plenty for nanosecond latency work;
+* :meth:`merge` folds another histogram in (per-core collection, global
+  report).
+
+A histogram is *scrape-aware*: :meth:`to_metrics` renders the stable
+summary mapping (``count/min/max/mean/p50/p90/p99``) that
+:class:`repro.obs.MetricsRegistry` flattens into dot-paths, so
+``pioman.latency.submit_to_complete.p99`` sits right next to the raw
+counters it explains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+Number = Union[int, float]
+
+#: the summary quantiles exported to the metrics registry — stable paths
+PERCENTILES = (50, 90, 99)
+
+
+class Histogram:
+    """Power-of-two log-bucketed histogram of non-negative integers."""
+
+    __slots__ = ("_buckets", "_count", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._buckets: list[int] = []
+        self._count = 0
+        self._sum = 0
+        self._min = 0
+        self._max = 0
+
+    # -- recording ------------------------------------------------------
+    def record(self, value: Number) -> None:
+        """Record one sample (floats are truncated, negatives clamped)."""
+        v = int(value)
+        if v < 0:
+            v = 0
+        idx = v.bit_length()
+        if idx >= len(self._buckets):
+            self._buckets.extend([0] * (idx + 1 - len(self._buckets)))
+        self._buckets[idx] += 1
+        if self._count == 0 or v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+        self._count += 1
+        self._sum += v
+
+    def record_many(self, values: Iterable[Number]) -> None:
+        for v in values:
+            self.record(v)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram."""
+        if other._count == 0:
+            return
+        if len(other._buckets) > len(self._buckets):
+            self._buckets.extend([0] * (len(other._buckets) - len(self._buckets)))
+        for i, n in enumerate(other._buckets):
+            self._buckets[i] += n
+        if self._count == 0 or other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        self._count += other._count
+        self._sum += other._sum
+
+    # -- queries --------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def min(self) -> int:
+        return self._min
+
+    @property
+    def max(self) -> int:
+        return self._max
+
+    @property
+    def total(self) -> int:
+        """Sum of all recorded samples."""
+        return self._sum
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Value at percentile ``p`` (0..100], bucket-resolution.
+
+        Returns the upper bound of the bucket holding the target rank,
+        clamped into the exact observed ``[min, max]`` so ``percentile(100)
+        == max`` and low percentiles never under-shoot the true minimum.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p!r}")
+        if self._count == 0:
+            return 0
+        target = max(1, -(-self._count * p // 100))  # ceil(count * p / 100)
+        seen = 0
+        for i, n in enumerate(self._buckets):
+            seen += n
+            if seen >= target:
+                upper = (1 << i) - 1 if i else 0
+                return min(max(upper, self._min), self._max)
+        return self._max  # pragma: no cover - target <= count always hits
+
+    def buckets(self) -> list[tuple[int, int, int]]:
+        """Non-empty buckets as ``(lo, hi, count)`` triples (for docs/tests)."""
+        out = []
+        for i, n in enumerate(self._buckets):
+            if n:
+                lo = (1 << (i - 1)) if i else 0
+                hi = (1 << i) - 1 if i else 0
+                out.append((lo, hi, n))
+        return out
+
+    # -- registry integration -------------------------------------------
+    def to_metrics(self) -> dict[str, Number]:
+        """Stable summary mapping scraped by :class:`MetricsRegistry`.
+
+        The keys below are dot-path suffixes (``<path>.p99`` ...): renaming
+        any of them is an API change.
+        """
+        out: dict[str, Number] = {
+            "count": self._count,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean(),
+        }
+        for p in PERCENTILES:
+            out[f"p{p}"] = self.percentile(p)
+        return out
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        if not self._count:
+            return "<Histogram empty>"
+        return (
+            f"<Histogram n={self._count} min={self._min} "
+            f"p50={self.percentile(50)} p99={self.percentile(99)} max={self._max}>"
+        )

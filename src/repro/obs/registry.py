@@ -26,10 +26,17 @@ next to their raw counters.
 from __future__ import annotations
 
 import dataclasses
+import re
 from typing import Any, Callable, Mapping, Optional, Union
 
 Number = Union[int, float]
 MetricSource = Union[object, Mapping[str, Any], Callable[[], Mapping[str, Any]]]
+
+
+def _is_summarizable(value: Any) -> bool:
+    """Distribution objects (histograms) summarize themselves via
+    ``to_metrics()`` — duck-typed so any HDR-style sketch plugs in."""
+    return callable(getattr(value, "to_metrics", None))
 
 
 def _iter_slots(obj: object):
@@ -59,6 +66,8 @@ def _numeric_properties(obj: object):
 
 def _scrape(source: MetricSource) -> dict[str, Any]:
     """Turn one registered source into a (possibly nested) mapping."""
+    if _is_summarizable(source):
+        return dict(source.to_metrics())
     if callable(source) and not isinstance(source, type):
         source = source()
     if isinstance(source, Mapping):
@@ -88,7 +97,41 @@ def _flatten(prefix: str, value: Any, into: dict[str, Number]) -> None:
     elif isinstance(value, Mapping):
         for key, sub in value.items():
             _flatten(f"{prefix}.{key}", sub, into)
+    elif _is_summarizable(value):
+        # Histograms nested in stats objects/mappings expand to their
+        # stable summary suffixes (<prefix>.count/.p50/.p99/...).
+        for key, sub in value.to_metrics().items():
+            _flatten(f"{prefix}.{key}", sub, into)
     # non-numeric leaves (names, strings, objects) are not metrics: skip
+
+
+#: topology level tokens appearing in metric paths, innermost first —
+#: drives the report's paper-Fig.-2 ordering (core < cache < chip <
+#: numa/node < machine/global)
+_LEVEL_RANK = {
+    "core": 0,
+    "cache": 1,
+    "chip": 2,
+    "numa": 3,
+    "node": 3,
+    "machine": 4,
+    "global": 4,
+}
+_LEVEL_TOKEN = re.compile(r"(core|cache|chip|numa|node|machine|global)#?(\d+)?")
+
+
+def _topo_key(path: str):
+    """Sort key rendering paths in topology order, lexicographic fallback.
+
+    Every level token in the path contributes ``(rank, index)``, so
+    ``q:core#2`` < ``q:chip#0`` < ``q:machine`` and ``core2`` < ``core10``;
+    paths with no level tokens keep their plain lexicographic position.
+    """
+    tokens = tuple(
+        (_LEVEL_RANK[m.group(1)], int(m.group(2) or 0))
+        for m in _LEVEL_TOKEN.finditer(path)
+    )
+    return (tokens, path)
 
 
 class MetricsRegistry:
@@ -104,7 +147,11 @@ class MetricsRegistry:
     # -- registration ---------------------------------------------------
     def register(self, path: str, source: MetricSource, *, replace: bool = False) -> None:
         """Register ``source`` under ``path`` (raises on duplicates)."""
-        if not path or path.startswith(".") or path.endswith("."):
+        if (
+            not path
+            or path != path.strip()
+            or any(not seg or seg != seg.strip() for seg in path.split("."))
+        ):
             raise ValueError(f"invalid metrics path {path!r}")
         if path in self._sources and not replace:
             raise ValueError(f"metrics path {path!r} already registered")
@@ -147,17 +194,24 @@ class MetricsRegistry:
         return out
 
     def report(self, snapshot: Optional[Mapping[str, Number]] = None) -> str:
-        """Topology-grouped human-readable rendering of a snapshot."""
+        """Topology-grouped human-readable rendering of a snapshot.
+
+        Group headers and the entries within each group render in
+        *topology* order — per-core entries first, then cache / chip /
+        NUMA, the machine/global level last — so the report reads like
+        paper Fig. 2 instead of a lexicographic jumble (where ``chip``
+        would sort before ``core``).  Paths themselves are unchanged.
+        """
         snap = self.snapshot() if snapshot is None else snapshot
         groups: dict[str, list[tuple[str, Number]]] = {}
         for path, value in snap.items():
             top, _, rest = path.partition(".")
             groups.setdefault(top, []).append((rest, value))
         lines: list[str] = []
-        for top in sorted(groups):
+        for top in sorted(groups, key=_topo_key):
             lines.append(f"== {top} ==")
             width = max(len(name) for name, _ in groups[top])
-            for name, value in groups[top]:
+            for name, value in sorted(groups[top], key=lambda nv: _topo_key(nv[0])):
                 if isinstance(value, float):
                     lines.append(f"  {name:<{width}}  {value:.4f}")
                 else:

@@ -70,6 +70,39 @@ class Tracer:
         return len(self.records)
 
 
+class _NullTracer(Tracer):
+    """The always-off tracer behind :data:`NULL_TRACER`.
+
+    The null tracer is shared process-wide as the default of every
+    subsystem; flipping its ``enabled`` flag would silently turn on
+    collection for *all* defaulted subsystems at once (and leak records
+    across unrelated simulations).  ``enabled`` is therefore a read-only
+    ``False`` — construct a real ``Tracer(enabled=True)`` and pass it
+    explicitly instead — and ``emit`` is a hard no-op either way.
+    """
+
+    def __init__(self) -> None:
+        # Tracer.__init__ assigns ``self.enabled``, which the read-only
+        # property below rejects; set the remaining state directly.
+        self.limit = None
+        self.records = []
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        raise AttributeError(
+            "NULL_TRACER is the shared process-wide default and cannot be "
+            "enabled; construct a Tracer(enabled=True) and pass it explicitly"
+        )
+
+    def emit(self, *args: Any, **data: Any) -> None:
+        return None
+
+
 #: A process-wide always-disabled tracer, handed out as a default so
 #: subsystems never need to branch on "do I have a tracer".
-NULL_TRACER = Tracer(enabled=False)
+NULL_TRACER = _NullTracer()

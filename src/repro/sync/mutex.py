@@ -13,6 +13,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro.mem.cacheline import CacheLine, MemStats
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.sync.stats import LockStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -24,7 +25,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Mutex:
     """FIFO blocking mutex; waiters are parked threads."""
 
-    __slots__ = ("machine", "engine", "line", "name", "held", "holder", "_waiters", "stats")
+    __slots__ = (
+        "machine",
+        "engine",
+        "line",
+        "name",
+        "held",
+        "holder",
+        "_waiters",
+        "stats",
+        "tracer",
+        "_acquired_at",
+    )
 
     def __init__(
         self,
@@ -43,6 +55,10 @@ class Mutex:
         self.holder: Optional["SimThread"] = None
         self._waiters: deque[tuple["SimThread", int]] = deque()
         self.stats = stats if stats is not None else LockStats()
+        #: set by owners that want contended handoffs on the trace
+        self.tracer: Tracer = NULL_TRACER
+        #: when the current holder's grant landed (hold-time span start)
+        self._acquired_at = 0
 
     def acquire(self, thread: "SimThread") -> Optional[int]:
         """Try to take the mutex for ``thread``.
@@ -55,6 +71,7 @@ class Mutex:
             cost = self.line.rmw(thread.core_id)
             self.held = True
             self.holder = thread
+            self._acquired_at = self.engine.now + cost
             self.stats.note_acquire(thread.core_id, contended=False)
             return cost
         self._waiters.append((thread, self.engine.now))
@@ -66,6 +83,7 @@ class Mutex:
         if not self.held or self.holder is not thread:
             raise RuntimeError(f"mutex {self.name!r} released by non-holder")
         cost = self.line.write(thread.core_id)
+        self.stats.note_hold(max(self.engine.now - self._acquired_at, 0))
         if not self._waiters:
             self.held = False
             self.holder = None
@@ -74,10 +92,16 @@ class Mutex:
         self.holder = waiter
         delay = cost + self.machine.xfer(thread.core_id, waiter.core_id)
         grant_time = self.engine.now + delay
-        self.stats.note_acquire(
-            waiter.core_id, contended=True, spin_ns=grant_time - t_enq
-        )
+        self._acquired_at = grant_time
+        wait_ns = grant_time - t_enq
+        self.stats.note_acquire(waiter.core_id, contended=True, spin_ns=wait_ns)
         self.stats.handoffs += 1
+        self.tracer.emit(
+            self.engine.now, "lock", f"core{waiter.core_id}",
+            f"contended {self.name or 'mutex'}",
+            phase="lock", lock=self.name or "mutex", core=waiter.core_id,
+            wait_ns=wait_ns, start=t_enq,
+        )
         # The scheduler charges the context-switch cost when re-dispatching.
         self.engine.schedule(delay, waiter.scheduler.wake, waiter)
         return cost

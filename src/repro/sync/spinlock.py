@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.mem.cacheline import CacheLine, MemStats
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.sync.stats import LockStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -55,6 +56,8 @@ class SpinLock:
         "_waiters",
         "_seq",
         "stats",
+        "tracer",
+        "_acquired_at",
     )
 
     def __init__(
@@ -75,6 +78,10 @@ class SpinLock:
         self._waiters: list[_Waiter] = []
         self._seq = 0
         self.stats = stats if stats is not None else LockStats()
+        #: set by owners (PIOMan) that want contended handoffs on the trace
+        self.tracer: Tracer = NULL_TRACER
+        #: when the current holder's grant landed (hold-time span start)
+        self._acquired_at = 0
 
     # ------------------------------------------------------------------
     def acquire(self, core: int, grant_cb: Callable[[], None]) -> Optional[_Waiter]:
@@ -92,6 +99,7 @@ class SpinLock:
             cost = self.line.rmw(core)
             self.held = True
             self.holder = core
+            self._acquired_at = now + cost
             self.stats.note_acquire(core, contended=False)
             self.engine.schedule(cost, grant_cb)
             return None
@@ -127,6 +135,7 @@ class SpinLock:
                 f"release of {self.name!r} by core {core}, holder={self.holder}"
             )
         cost = self.line.write(core)
+        self.stats.note_hold(max(self.engine.now - self._acquired_at, 0))
         if not self._waiters:
             self.held = False
             self.holder = None
@@ -156,10 +165,16 @@ class SpinLock:
         delay = cost + xfer + self.machine.spec.cas_ns
         self.holder = winner.core  # ownership transfers at release time
         grant_time = self.engine.now + delay
-        self.stats.note_acquire(
-            winner.core, contended=True, spin_ns=grant_time - winner.enqueue_time
-        )
+        self._acquired_at = grant_time
+        spin_ns = grant_time - winner.enqueue_time
+        self.stats.note_acquire(winner.core, contended=True, spin_ns=spin_ns)
         self.stats.handoffs += 1
+        self.tracer.emit(
+            self.engine.now, "lock", f"core{winner.core}",
+            f"contended {self.name or 'spinlock'}",
+            phase="lock", lock=self.name or "spinlock", core=winner.core,
+            wait_ns=spin_ns, start=winner.enqueue_time,
+        )
         self.engine.schedule(delay, winner.grant_cb)
         return cost
 

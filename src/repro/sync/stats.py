@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.histogram import Histogram
+
 
 @dataclass
 class LockStats:
@@ -23,6 +25,12 @@ class LockStats:
     #: acquisitions per core id — exposes the NUMA-capture imbalance the
     #: paper observes on the global queue
     per_core_acquires: dict[int, int] = field(default_factory=dict)
+    #: wait-to-acquire distribution (0 for uncontended acquisitions, the
+    #: spin/park span for contended ones) — registry paths ``wait_ns.p99``…
+    wait_ns: Histogram = field(default_factory=Histogram)
+    #: hold-time distribution, acquire-grant to release — the paper's
+    #: "critical sections shorter than a context switch" claim, measured
+    hold_ns: Histogram = field(default_factory=Histogram)
 
     def note_acquire(self, core: int, contended: bool, spin_ns: int = 0) -> None:
         self.acquires += 1
@@ -31,7 +39,11 @@ class LockStats:
             self.total_spin_ns += spin_ns
         else:
             self.uncontended += 1
+        self.wait_ns.record(spin_ns if contended else 0)
         self.per_core_acquires[core] = self.per_core_acquires.get(core, 0) + 1
+
+    def note_hold(self, hold_ns: int) -> None:
+        self.hold_ns.record(hold_ns)
 
     def note_waiters(self, n: int) -> None:
         if n > self.max_waiters:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
+from repro.obs.histogram import Histogram
 from repro.sim.engine import Engine
 from repro.sim.rng import Rng
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -141,6 +142,10 @@ class Scheduler:
         self.true_spin = true_spin
         self._seq = 0
         self._rr_seq = 0
+        #: per-keypoint progression-pass duration distributions: how long
+        #: one hook invocation takes when driven from each keypoint kind
+        #: (registry paths ``sched.<name>.keypoint_ns.idle.p99`` ...)
+        self.keypoint_ns: dict[Keypoint, Histogram] = {k: Histogram() for k in Keypoint}
         #: live application threads (used to quiesce idle polling)
         self.normal_live = 0
         self.threads: list[SimThread] = []
@@ -201,7 +206,9 @@ class Scheduler:
                 yield Park()
                 continue
             self.cores[core_id].keypoint_counts[Keypoint.IDLE] += 1
+            hook_t0 = self.engine.now
             res = yield from hook(core_id)
+            self.keypoint_ns[Keypoint.IDLE].record(self.engine.now - hook_t0)
             if res is None:
                 res = (0, 0, False)
             ran, repeats, contended = (res + (False,))[:3]
@@ -359,9 +366,12 @@ class Scheduler:
         core.hook_live = True
         core.keypoint_counts[kind] += 1
         hook = self.progression_hook
+        hist = self.keypoint_ns[kind]
 
         def body(ctx: ThreadCtx) -> Generator[Instr, Any, Any]:
+            t0 = self.engine.now
             yield from hook(ctx.core_id)
+            hist.record(self.engine.now - t0)
 
         t = self.spawn(body, core.id, name=f"hook-{kind.value}@{core.id}", prio=Prio.SYSTEM)
         t.is_hook = True
@@ -381,9 +391,12 @@ class Scheduler:
         core.hook_live = True
         core.keypoint_counts[Keypoint.CTX_SWITCH] += 1
         hook = self.progression_hook
+        hist = self.keypoint_ns[Keypoint.CTX_SWITCH]
 
         def body(ctx: ThreadCtx) -> Generator[Instr, Any, Any]:
+            t0 = self.engine.now
             yield from hook(ctx.core_id)
+            hist.record(self.engine.now - t0)
 
         t = self.spawn(body, core_id, name=f"hook-inject@{core_id}", prio=Prio.SYSTEM)
         t.is_hook = True
@@ -687,13 +700,15 @@ class Scheduler:
     def core_busy_ns(self) -> list[int]:
         return [c.busy_ns for c in self.cores]
 
-    def core_metrics(self) -> dict[str, dict[str, int]]:
+    def core_metrics(self) -> dict[str, Any]:
         """Per-core scheduler counters for the metrics registry.
 
         Flattens to ``sched.<node>.core<N>.busy_ns`` etc.; keypoint
-        counts are broken out per kind (``keypoints.idle`` ...).
+        counts are broken out per kind (``keypoints.idle`` ...), and
+        per-keypoint pass-duration histograms summarize under
+        ``keypoint_ns.<kind>.p50/p99/...``.
         """
-        out: dict[str, dict[str, int]] = {}
+        out: dict[str, Any] = {}
         for core in self.cores:
             out[f"core{core.id}"] = {
                 "busy_ns": core.busy_ns,
@@ -701,6 +716,7 @@ class Scheduler:
                 "timer_ticks": core.timer_ticks,
                 "keypoints": {k.value: n for k, n in core.keypoint_counts.items()},
             }
+        out["keypoint_ns"] = {k.value: h for k, h in self.keypoint_ns.items()}
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -97,3 +97,42 @@ def test_dropped_records_reported():
     doc = chrome_trace(t)
     assert doc["otherData"]["dropped"] == 7
     assert doc["otherData"]["recorded"] == 3
+
+
+def test_malformed_run_record_clamped_to_zero_length_slice():
+    """A run record whose start lies after its end (clock skew, hand-built
+    traces) must yield a zero-length slice, never a negative duration."""
+    t = Tracer(enabled=True)
+    t.emit(100, "pioman", "core0", "completed bad",
+           phase="run", task="bad", queue="q:machine", core=0,
+           start=500, complete=True)
+    doc = chrome_trace(t)
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 1
+    assert slices[0]["dur"] == 0
+    assert slices[0]["ts"] == 100 / 1000
+
+
+def test_write_chrome_trace_compact_and_indented(tmp_path):
+    tracer, _ = _instrumented_run(reps=5)
+    compact = tmp_path / "compact.json"
+    pretty = tmp_path / "pretty.json"
+    n1 = write_chrome_trace(str(compact), tracer)           # compact=True default
+    n2 = write_chrome_trace(str(pretty), tracer, compact=False)
+    assert n1 == n2
+    raw_compact = compact.read_text()
+    raw_pretty = pretty.read_text()
+    # compact form drops all inter-token whitespace; same document either way
+    assert len(raw_compact) < len(raw_pretty)
+    assert "\n" not in raw_compact.strip()
+    assert json.loads(raw_compact) == json.loads(raw_pretty)
+
+
+def test_meta_stamped_into_other_data(tmp_path):
+    tracer, _ = _instrumented_run(reps=3)
+    out = tmp_path / "meta.json"
+    write_chrome_trace(str(out), tracer, meta={"machine": "borderline", "ncores": 8})
+    doc = json.loads(out.read_text())
+    assert doc["otherData"]["machine"] == "borderline"
+    assert doc["otherData"]["ncores"] == 8
+    assert doc["otherData"]["recorded"] == len(tracer.records)

@@ -1,0 +1,118 @@
+"""Histogram: bucketing, percentiles, merge, registry scraping."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+def test_empty_histogram():
+    h = Histogram()
+    assert h.count == 0 and len(h) == 0
+    assert h.min == 0 and h.max == 0 and h.total == 0
+    assert h.mean() == 0.0
+    assert h.percentile(50) == 0
+    assert h.buckets() == []
+
+
+def test_record_updates_count_min_max_sum():
+    h = Histogram()
+    for v in (5, 100, 3, 77):
+        h.record(v)
+    assert h.count == 4
+    assert h.min == 3 and h.max == 100
+    assert h.total == 185
+    assert h.mean() == pytest.approx(185 / 4)
+
+
+def test_negative_and_float_samples_are_clamped_and_truncated():
+    h = Histogram()
+    h.record(-5)
+    h.record(2.9)
+    assert h.min == 0 and h.max == 2
+    assert h.count == 2
+
+
+def test_power_of_two_buckets():
+    h = Histogram()
+    for v in (0, 1, 2, 3, 4, 7, 8, 1000):
+        h.record(v)
+    triples = h.buckets()
+    # bucket 0 = {0}; bucket [1,1]; [2,3]; [4,7]; [8,15]; [512,1023]
+    assert (0, 0, 1) in triples
+    assert (1, 1, 1) in triples
+    assert (2, 3, 2) in triples
+    assert (4, 7, 2) in triples
+    assert (8, 15, 1) in triples
+    assert (512, 1023, 1) in triples
+    assert sum(n for _, _, n in triples) == h.count
+
+
+def test_percentile_bucket_resolution_and_clamping():
+    h = Histogram()
+    for v in [10] * 90 + [1000] * 10:
+        h.record(v)
+    # p50 lands in the [8,15] bucket; clamped into [min, max]
+    assert h.percentile(50) == 15
+    # p100 is always the exact max, p0 never undershoots the min
+    assert h.percentile(100) == 1000
+    assert h.percentile(0) >= h.min
+    # the tail bucket upper bound (1023) is clamped to the true max
+    assert h.percentile(99.5) == 1000
+
+
+def test_percentile_out_of_range_rejected():
+    h = Histogram()
+    h.record(1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+
+
+def test_single_value_percentiles_are_exact():
+    h = Histogram()
+    h.record(37)
+    for p in (1, 50, 90, 99, 100):
+        assert h.percentile(p) == 37
+
+
+def test_merge_folds_samples():
+    a, b = Histogram(), Histogram()
+    for v in (1, 2, 3):
+        a.record(v)
+    for v in (100, 200):
+        b.record(v)
+    a.merge(b)
+    assert a.count == 5
+    assert a.min == 1 and a.max == 200
+    assert a.total == 306
+    # merging an empty histogram is a no-op
+    before = a.to_metrics()
+    a.merge(Histogram())
+    assert a.to_metrics() == before
+    # merge into an empty histogram copies min/max
+    c = Histogram()
+    c.merge(b)
+    assert c.min == 100 and c.max == 200 and c.count == 2
+
+
+def test_to_metrics_exposes_stable_summary_keys():
+    h = Histogram()
+    h.record_many(range(1, 101))
+    m = h.to_metrics()
+    assert set(m) == {"count", "min", "max", "mean", "p50", "p90", "p99"}
+    assert m["count"] == 100 and m["min"] == 1 and m["max"] == 100
+    assert m["p50"] <= m["p90"] <= m["p99"] <= m["max"]
+
+
+def test_registry_scrapes_histogram_directly_and_nested():
+    reg = MetricsRegistry()
+    h = Histogram()
+    h.record(50)
+    reg.register("pioman.latency.submit_to_complete", h)
+    reg.register("group", {"wait": h, "plain": 3})
+    snap = reg.snapshot()
+    assert snap["pioman.latency.submit_to_complete.p99"] == 50
+    assert snap["pioman.latency.submit_to_complete.count"] == 1
+    assert snap["group.wait.p50"] == 50
+    assert snap["group.plain"] == 3

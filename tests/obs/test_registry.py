@@ -125,3 +125,59 @@ def test_report_groups_by_top_segment():
     assert "== pioman ==" in text and "== sched ==" in text
     assert "submits" in text
     assert MetricsRegistry().report() == "(no metrics registered)"
+
+
+def test_invalid_paths_rejected_extended():
+    reg = MetricsRegistry()
+    for bad in ("a..b", " lead", "trail ", "a. .b", "\tq"):
+        with pytest.raises(ValueError):
+            reg.register(bad, {"x": 1})
+    # a path that is merely unusual is fine
+    reg.register("q:machine.lock", {"x": 1})
+
+
+def test_unregister_unknown_path_is_noop():
+    reg = MetricsRegistry()
+    reg.register("a", {"x": 1})
+    reg.unregister("nope")
+    assert "a" in reg and len(reg) == 1
+
+
+def test_diff_with_float_valued_derived_metrics():
+    reg = MetricsRegistry()
+    st = LockStats()
+    st.note_acquire(0, contended=False)
+    reg.register("lock", st)
+    before = reg.snapshot()
+    st.note_acquire(1, contended=True, spin_ns=80)
+    after = reg.snapshot()
+    delta = MetricsRegistry.diff(before, after)
+    assert delta["lock.acquires"] == 1
+    assert delta["lock.contention_ratio"] == pytest.approx(0.5)
+    assert "lock.uncontended" not in delta  # unchanged counters omitted
+
+
+def test_report_orders_groups_and_entries_by_topology():
+    """Satellite (c): report headers follow machine topology (core < chip
+    < node < global), not lexicographic order; dot-paths are untouched."""
+    reg = MetricsRegistry()
+    reg.register("pioman.q:machine", {"v": 1})
+    reg.register("pioman.q:chip#1", {"v": 1})
+    reg.register("pioman.q:chip#0", {"v": 1})
+    reg.register("pioman.q:core#10", {"v": 1})
+    reg.register("pioman.q:core#2", {"v": 1})
+    reg.register("sched.node0", {"busy": 1})
+    text = reg.report()
+    # pioman group: cores (numeric order) before chips before machine
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+    order = [ln.split(" ")[0] for ln in lines if ln.startswith("q:")]
+    assert order == [
+        "q:core#2.v",
+        "q:core#10.v",
+        "q:chip#0.v",
+        "q:chip#1.v",
+        "q:machine.v",
+    ]
+    assert lines.index("== pioman ==") < lines.index("== sched ==")
+    snap = reg.snapshot()
+    assert "pioman.q:core#10.v" in snap  # paths themselves unchanged

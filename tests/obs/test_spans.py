@@ -1,0 +1,132 @@
+"""Task lifecycle spans, latency histograms, and the zero-overhead guarantee."""
+
+from repro.core.manager import PIOMan
+from repro.core.progress import piom_wait
+from repro.core.task import LTask
+from repro.obs import MetricsRegistry
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.threads.instructions import Compute
+from repro.threads.scheduler import Keypoint, Scheduler
+from repro.topology.builder import borderline
+from repro.topology.cpuset import CpuSet
+
+
+def _run_workload(registry=None, tracer=NULL_TRACER, seed=2, ntasks=4):
+    m = borderline()
+    eng = Engine()
+    sched = Scheduler(m, eng, rng=Rng(seed), registry=registry, tracer=tracer)
+    pio = PIOMan(m, eng, sched, registry=registry, tracer=tracer)
+    done = []
+
+    def body(ctx):
+        yield Compute(5_000)
+        for i in range(ntasks):
+            task = LTask(None, cpuset=CpuSet.single(3), name=f"t{i}")
+            yield from pio.submit(0, task)
+            yield from piom_wait(pio, 0, task, mode="spin")
+            done.append(task)
+
+    sched.spawn(body, 0)
+    eng.run()
+    return eng, sched, pio, done
+
+
+# ------------------------------------------------------------- LTask spans
+def test_task_lifecycle_fields_are_stamped():
+    _, _, _, done = _run_workload()
+    for task in done:
+        assert task.submitted_at is not None
+        assert task.first_polled_at is not None
+        assert task.completed_at is not None
+        assert task.submitted_at <= task.first_polled_at <= task.completed_at
+        assert task.poll_attempts >= 1
+        assert task.queue_wait_ns() == task.first_polled_at - task.submitted_at
+        assert task.latency_ns() == task.completed_at - task.submitted_at
+
+
+def test_task_reset_clears_span_fields():
+    _, _, _, done = _run_workload(ntasks=1)
+    task = done[0]
+    task.reset()
+    assert task.enqueued_at is None and task.first_polled_at is None
+    assert task.queue_wait_ns() is None and task.latency_ns() is None
+
+
+def test_unrun_task_has_no_span():
+    task = LTask(None, cpuset=CpuSet.single(0), name="idle")
+    assert task.submitted_at is None and task.completed_at is None
+    assert task.queue_wait_ns() is None and task.latency_ns() is None
+    assert task.poll_attempts == 0
+
+
+# ------------------------------------------------- histogram-fed registry
+def test_latency_histograms_populate_registry_paths():
+    reg = MetricsRegistry()
+    _, _, pio, done = _run_workload(registry=reg)
+    snap = reg.snapshot()
+    n = len(done)
+    assert snap["pioman.latency.submit_to_complete.count"] == n
+    assert snap["pioman.latency.queue_wait.count"] == n
+    assert snap["pioman.latency.submit_to_complete.p50"] > 0
+    assert snap["pioman.latency.submit_to_complete.p99"] >= snap[
+        "pioman.latency.submit_to_complete.p50"
+    ]
+    # the live histogram agrees with the per-task stamps
+    lat = pio.latency.submit_to_complete
+    assert lat.max >= max(t.latency_ns() for t in done)
+    # schedule passes were timed, split productive vs empty
+    passes = (
+        snap["pioman.latency.schedule_pass_productive.count"]
+        + snap["pioman.latency.schedule_pass_empty.count"]
+    )
+    assert passes == snap["pioman.schedule_passes"]
+    # queue-side wait histogram fed by dequeue stamps
+    assert any(
+        k.startswith("pioman.q:") and k.endswith(".wait_ns.count") and v > 0
+        for k, v in snap.items()
+    )
+
+
+def test_keypoint_duration_histograms():
+    reg = MetricsRegistry()
+    _, sched, _, _ = _run_workload(registry=reg)
+    assert sched.keypoint_ns[Keypoint.IDLE].count > 0
+    snap = reg.snapshot()
+    idle_keys = [k for k in snap if ".keypoint_ns.idle." in k]
+    assert idle_keys, "scheduler keypoint histograms must be scraped"
+
+
+def test_lock_wait_and_hold_histograms():
+    reg = MetricsRegistry()
+    _, _, pio, _ = _run_workload(registry=reg)
+    q = pio.hierarchy.queue_for_cpuset(CpuSet.single(3))
+    stats = q.lock.stats
+    assert stats.wait_ns.count == stats.acquires
+    assert stats.hold_ns.count > 0
+    snap = reg.snapshot()
+    assert any(k.endswith(".lock.wait_ns.count") and v > 0 for k, v in snap.items())
+    assert any(k.endswith(".lock.hold_ns.count") and v > 0 for k, v in snap.items())
+
+
+# ------------------------------------------- the zero-overhead guarantee
+def test_instrumentation_adds_zero_simulator_events():
+    """With tracing disabled, spans and histograms must not change the
+    simulation: same virtual end time, same number of fired events."""
+    eng_bare, _, _, _ = _run_workload(registry=None)
+    eng_inst, _, pio, _ = _run_workload(registry=MetricsRegistry())
+    assert eng_inst.fired == eng_bare.fired
+    assert eng_inst.now == eng_bare.now
+    # ...and the histograms still filled up, host-side only
+    assert pio.latency.submit_to_complete.count > 0
+    assert pio.tracer is NULL_TRACER
+
+
+def test_enabled_tracer_also_leaves_simulation_unchanged():
+    eng_bare, _, _, _ = _run_workload()
+    tracer = Tracer(enabled=True)
+    eng_traced, _, _, _ = _run_workload(registry=MetricsRegistry(), tracer=tracer)
+    assert eng_traced.fired == eng_bare.fired
+    assert eng_traced.now == eng_bare.now
+    assert tracer.records

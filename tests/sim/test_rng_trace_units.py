@@ -117,6 +117,23 @@ def test_null_tracer_is_disabled():
     assert NULL_TRACER.enabled is False
 
 
+def test_null_tracer_cannot_be_enabled():
+    """NULL_TRACER is the shared process-wide default: flipping its
+    ``enabled`` flag would silently start recording for every component
+    that never asked for tracing.  The assignment must raise."""
+    with pytest.raises(AttributeError):
+        NULL_TRACER.enabled = True
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, Tracer)  # still substitutable
+
+
+def test_null_tracer_emit_is_a_hard_noop():
+    NULL_TRACER.emit(123, "cat", "actor", "message", phase="run", core=0)
+    assert len(NULL_TRACER.records) == 0
+    assert NULL_TRACER.dropped == 0
+    assert len(NULL_TRACER) == 0
+
+
 # ---------------------------------------------------------------- units
 def test_unit_constants():
     assert (NS, US, MS, SEC) == (1, 1_000, 1_000_000, 1_000_000_000)
