@@ -12,6 +12,8 @@ Usage::
     python -m repro.bench table1 --metrics-out m.json --trace-out t.json
     python -m repro.bench analyze --trace t.json    # offline trace analysis
     python -m repro.bench analyze --trace t.json --analysis-out a.json
+    python -m repro.bench perf                      # host events/sec matrix
+    python -m repro.bench perf --quick --baseline BENCH_host_perf.json
 
 (also installed as the ``repro-bench`` console script).
 """
@@ -88,6 +90,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "analyze":
         return _analyze_main(list(argv[1:]))
+    if argv and argv[0] == "perf":
+        from repro.bench.hostperf import main as perf_main
+
+        return perf_main(list(argv[1:]))
     ap = argparse.ArgumentParser(
         prog="repro-bench", description="Regenerate the paper's tables and figures."
     )

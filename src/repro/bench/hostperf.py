@@ -1,0 +1,429 @@
+"""Host-performance benchmark harness (``python -m repro.bench perf``).
+
+Everything else in :mod:`repro.bench` measures *virtual* nanoseconds —
+the numbers the paper reports.  This module measures the **host**: how
+many simulator events per wall-clock second the discrete-event core
+sustains on a fixed, seeded workload matrix.  Host speed is what gates
+how large fig4 (128 receiver threads), the scalability sweep and
+multi-node cluster runs can get, so it is tracked as a first-class
+number in ``BENCH_host_perf.json``.
+
+The matrix deliberately spans the simulator's distinct hot paths:
+
+* ``micro_local`` / ``micro_global`` — Table-I-style submit→complete
+  round-trips (engine + PIOMan + queue + lock fast paths);
+* ``latency_mt`` — a fig4-style multi-threaded ping-pong over the full
+  cluster stack (NICs, nmad, MPI, doorbells);
+* ``scal_numa32`` — one rung of the scalability sweep on a 32-core NUMA
+  machine (wide hierarchies, long scan paths);
+* ``cluster_ring`` — a 4-node ring exchange (fabric + multi-node
+  scheduling).
+
+Each scenario also returns a **fingerprint** of the simulated outcome
+(final virtual time, events fired, key scheduler counters).  The
+fingerprints are what the determinism golden test and the perf-smoke CI
+job key on: an optimization that changes a fingerprint changed the
+simulation, not just its speed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario: host throughput plus a semantic fingerprint."""
+
+    name: str
+    events: int
+    wall_ms: float
+    events_per_sec: float
+    virtual_ns: int
+    fingerprint: dict = field(default_factory=dict)
+
+
+@dataclass
+class HostPerfReport:
+    """The full matrix plus the aggregate throughput headline."""
+
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+    total_events: int = 0
+    total_wall_ms: float = 0.0
+    aggregate_events_per_sec: float = 0.0
+
+    def finish(self) -> "HostPerfReport":
+        self.total_events = sum(s.events for s in self.scenarios)
+        self.total_wall_ms = sum(s.wall_ms for s in self.scenarios)
+        if self.total_wall_ms > 0:
+            self.aggregate_events_per_sec = self.total_events / (
+                self.total_wall_ms / 1e3
+            )
+        return self
+
+    def scenario(self, name: str) -> ScenarioResult:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+
+def _timed(engine: Engine, run: Callable[[], None]) -> tuple[int, float, int]:
+    """Run a prepared workload; returns (events, wall_ms, virtual_ns)."""
+    fired0 = engine.fired
+    t0 = time.perf_counter()
+    run()
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    return engine.fired - fired0, wall_ms, engine.now
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def _microbench_scenario(
+    name: str, machine_name: str, cpuset_kind: str, reps: int, seed: int
+) -> ScenarioResult:
+    """Table-I-style submit→wait loop on one queue of the hierarchy."""
+    from repro.core.manager import PIOMan
+    from repro.core.progress import piom_wait
+    from repro.core.task import LTask
+    from repro.sim.rng import Rng
+    from repro.threads.scheduler import Scheduler
+    from repro.topology.builder import MACHINES
+    from repro.topology.cpuset import CpuSet
+
+    machine = MACHINES[machine_name]()
+    engine = Engine()
+    sched = Scheduler(machine, engine, rng=Rng(seed))
+    pioman = PIOMan(machine, engine, sched)
+    cpuset = (
+        CpuSet.single(0) if cpuset_kind == "local" else machine.all_cores()
+    )
+    wait_mode = "active" if cpuset_kind == "local" else "spin"
+
+    def submitter(ctx):
+        for i in range(reps):
+            task = LTask(None, cpuset=cpuset, name=f"perf{i}")
+            yield from pioman.submit(0, task)
+            yield from piom_wait(pioman, 0, task, mode=wait_mode)
+
+    def run() -> None:
+        sched.spawn(submitter, 0, name="perf-submitter")
+        engine.run(until=reps * 1_000_000)
+
+    events, wall_ms, virtual_ns = _timed(engine, run)
+    if pioman.stats.tasks_completed < reps:
+        raise RuntimeError(f"{name}: stalled at {pioman.stats.tasks_completed}/{reps}")
+    return ScenarioResult(
+        name=name,
+        events=events,
+        wall_ms=wall_ms,
+        events_per_sec=events / (wall_ms / 1e3) if wall_ms else 0.0,
+        virtual_ns=virtual_ns,
+        fingerprint={
+            "fired": events,
+            "virtual_ns": virtual_ns,
+            "submits": pioman.stats.submits,
+            "executions": pioman.stats.executions,
+            "schedule_passes": pioman.stats.schedule_passes,
+        },
+    )
+
+
+def _latency_scenario(name: str, nthreads: int, iters: int, seed: int) -> ScenarioResult:
+    """fig4-style multi-threaded ping-pong over the full cluster stack."""
+    from repro.cluster.cluster import Cluster
+    from repro.mpi import MadMPI
+
+    cluster = Cluster(2, seed=seed)
+    mpi = MadMPI(cluster)
+    c_send = mpi.comm(0)
+    c_recv = mpi.comm(1)
+    ncores = cluster.nodes[1].machine.ncores
+    samples: list[int] = []
+
+    def receiver_body(tid: int):
+        def body(ctx):
+            for _ in range(iters):
+                yield from c_recv.recv(ctx.core_id, 0, tid)
+                yield from c_recv.send(ctx.core_id, 0, tid, 4, payload=b"r")
+
+        return body
+
+    def sender_body(ctx):
+        for _ in range(iters):
+            for tid in range(nthreads):
+                t0 = ctx.now
+                yield from c_send.send(ctx.core_id, 1, tid, 4, payload=b"p")
+                yield from c_send.recv(ctx.core_id, 1, tid)
+                samples.append(ctx.now - t0)
+
+    def run() -> None:
+        for tid in range(nthreads):
+            cluster.nodes[1].scheduler.spawn(
+                receiver_body(tid), tid % ncores, name=f"recv{tid}"
+            )
+        cluster.nodes[0].scheduler.spawn(sender_body, 0, name="sender")
+        cluster.run(until=iters * nthreads * 3_000_000 + 50_000_000)
+
+    engine = cluster.engine
+    events, wall_ms, virtual_ns = _timed(engine, run)
+    if len(samples) < iters * nthreads:
+        raise RuntimeError(f"{name}: stalled at {len(samples)} round-trips")
+    return ScenarioResult(
+        name=name,
+        events=events,
+        wall_ms=wall_ms,
+        events_per_sec=events / (wall_ms / 1e3) if wall_ms else 0.0,
+        virtual_ns=virtual_ns,
+        fingerprint={
+            "fired": events,
+            "virtual_ns": virtual_ns,
+            "round_trips": len(samples),
+            "sum_latency_ns": sum(samples),
+        },
+    )
+
+
+def _scalability_scenario(name: str, reps: int, seed: int) -> ScenarioResult:
+    """One rung of the scalability sweep: global queue on a 32-core NUMA box."""
+    from repro.bench.scalability import scaled_machine
+    from repro.core.manager import PIOMan
+    from repro.core.progress import piom_wait
+    from repro.core.task import LTask
+    from repro.sim.rng import Rng
+    from repro.threads.scheduler import Scheduler
+
+    machine = scaled_machine(4, 8)  # 32 cores
+    engine = Engine()
+    sched = Scheduler(machine, engine, rng=Rng(seed))
+    pioman = PIOMan(machine, engine, sched)
+    cpuset = machine.all_cores()
+
+    def submitter(ctx):
+        for i in range(reps):
+            task = LTask(None, cpuset=cpuset, name=f"scal{i}")
+            yield from pioman.submit(0, task)
+            yield from piom_wait(pioman, 0, task, mode="spin")
+
+    def run() -> None:
+        sched.spawn(submitter, 0, name="scal-submitter")
+        engine.run(until=reps * 1_000_000)
+
+    events, wall_ms, virtual_ns = _timed(engine, run)
+    if pioman.stats.tasks_completed < reps:
+        raise RuntimeError(f"{name}: stalled at {pioman.stats.tasks_completed}/{reps}")
+    return ScenarioResult(
+        name=name,
+        events=events,
+        wall_ms=wall_ms,
+        events_per_sec=events / (wall_ms / 1e3) if wall_ms else 0.0,
+        virtual_ns=virtual_ns,
+        fingerprint={
+            "fired": events,
+            "virtual_ns": virtual_ns,
+            "submits": pioman.stats.submits,
+            "executions": pioman.stats.executions,
+        },
+    )
+
+
+def _cluster_ring_scenario(name: str, nnodes: int, iters: int, seed: int) -> ScenarioResult:
+    """Multi-node smoke: every node sends around a ring simultaneously."""
+    from repro.cluster.cluster import Cluster
+    from repro.mpi import MadMPI
+
+    cluster = Cluster(nnodes, seed=seed)
+    mpi = MadMPI(cluster)
+    comms = [mpi.comm(i) for i in range(nnodes)]
+    done = [0] * nnodes
+
+    def ring_body(rank: int):
+        nxt = (rank + 1) % nnodes
+        prev = (rank - 1) % nnodes
+
+        def body(ctx):
+            for it in range(iters):
+                yield from comms[rank].send(
+                    ctx.core_id, nxt, it, 1024, payload=b"x"
+                )
+                yield from comms[rank].recv(ctx.core_id, prev, it)
+                done[rank] += 1
+
+        return body
+
+    def run() -> None:
+        for rank in range(nnodes):
+            cluster.nodes[rank].scheduler.spawn(
+                ring_body(rank), 0, name=f"ring{rank}"
+            )
+        cluster.run(until=iters * nnodes * 5_000_000 + 50_000_000)
+
+    engine = cluster.engine
+    events, wall_ms, virtual_ns = _timed(engine, run)
+    if done != [iters] * nnodes:
+        raise RuntimeError(f"{name}: ring stalled ({done})")
+    return ScenarioResult(
+        name=name,
+        events=events,
+        wall_ms=wall_ms,
+        events_per_sec=events / (wall_ms / 1e3) if wall_ms else 0.0,
+        virtual_ns=virtual_ns,
+        fingerprint={
+            "fired": events,
+            "virtual_ns": virtual_ns,
+            "exchanges": sum(done),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# the matrix
+# ----------------------------------------------------------------------
+def run_host_perf(*, quick: bool = False, seed: int = 7) -> HostPerfReport:
+    """Run the fixed workload matrix; ``quick`` shrinks it for CI smoke."""
+    scale = 1 if quick else 4
+    report = HostPerfReport()
+    report.scenarios.append(
+        _microbench_scenario("micro_local", "borderline", "local", 150 * scale, seed)
+    )
+    report.scenarios.append(
+        _microbench_scenario("micro_global", "borderline", "global", 100 * scale, seed + 1)
+    )
+    report.scenarios.append(
+        _latency_scenario("latency_mt", nthreads=8, iters=2 * scale, seed=seed + 2)
+    )
+    report.scenarios.append(
+        _scalability_scenario("scal_numa32", reps=30 * scale, seed=seed + 3)
+    )
+    report.scenarios.append(
+        _cluster_ring_scenario("cluster_ring", nnodes=4, iters=4 * scale, seed=seed + 4)
+    )
+    return report.finish()
+
+
+def format_host_perf(report: HostPerfReport) -> str:
+    lines = [
+        "Host performance (simulator events per wall-clock second)",
+        f"{'scenario':<14}{'events':>10}{'wall ms':>10}{'events/s':>12}{'virtual ms':>12}",
+    ]
+    for s in report.scenarios:
+        lines.append(
+            f"{s.name:<14}{s.events:>10}{s.wall_ms:>10.1f}"
+            f"{s.events_per_sec:>12.0f}{s.virtual_ns / 1e6:>12.2f}"
+        )
+    lines.append(
+        f"{'AGGREGATE':<14}{report.total_events:>10}{report.total_wall_ms:>10.1f}"
+        f"{report.aggregate_events_per_sec:>12.0f}"
+    )
+    return "\n".join(lines)
+
+
+def report_to_jsonable(report: HostPerfReport, *, quick: bool, seed: int) -> dict:
+    return {
+        "meta": {
+            "kind": "host_perf",
+            "quick": quick,
+            "seed": seed,
+            "python": sys.version.split()[0],
+        },
+        "aggregate": {
+            "events": report.total_events,
+            "wall_ms": round(report.total_wall_ms, 3),
+            "events_per_sec": round(report.aggregate_events_per_sec, 1),
+        },
+        "scenarios": [
+            {
+                "name": s.name,
+                "events": s.events,
+                "wall_ms": round(s.wall_ms, 3),
+                "events_per_sec": round(s.events_per_sec, 1),
+                "virtual_ns": s.virtual_ns,
+                "fingerprint": s.fingerprint,
+            }
+            for s in report.scenarios
+        ],
+    }
+
+
+def check_regression(
+    report: HostPerfReport, baseline_path: str, *, max_regression: float = 2.0
+) -> list[str]:
+    """Compare against a committed ``BENCH_host_perf.json``.
+
+    Returns a list of failure strings (empty = pass).  A scenario fails
+    when its events/sec dropped by more than ``max_regression``x against
+    the committed number — generous on purpose, since CI machines vary;
+    the committed file is the trajectory anchor, not a tight SLO.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    by_name = {s["name"]: s for s in baseline.get("scenarios", [])}
+    failures: list[str] = []
+    for s in report.scenarios:
+        ref = by_name.get(s.name)
+        if ref is None or not ref.get("events_per_sec"):
+            continue
+        floor = ref["events_per_sec"] / max_regression
+        if s.events_per_sec < floor:
+            failures.append(
+                f"{s.name}: {s.events_per_sec:.0f} ev/s < floor {floor:.0f} "
+                f"(committed {ref['events_per_sec']:.0f}, "
+                f"max regression {max_regression}x)"
+            )
+    agg_ref = baseline.get("aggregate", {}).get("events_per_sec")
+    if agg_ref:
+        floor = agg_ref / max_regression
+        if report.aggregate_events_per_sec < floor:
+            failures.append(
+                f"aggregate: {report.aggregate_events_per_sec:.0f} ev/s < "
+                f"floor {floor:.0f} (committed {agg_ref:.0f})"
+            )
+    return failures
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """The ``perf`` subcommand body (called from :mod:`repro.bench.cli`)."""
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench perf",
+        description="Host-speed benchmark: events/sec over a fixed seeded "
+        "workload matrix; writes BENCH_host_perf.json.",
+    )
+    ap.add_argument("--out", metavar="PATH", default="BENCH_host_perf.json",
+                    help="where to write the JSON report (default ./BENCH_host_perf.json)")
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced matrix for CI smoke runs")
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--baseline", metavar="PATH", default=None,
+                    help="compare against a committed BENCH_host_perf.json "
+                    "and exit non-zero on regression")
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="events/sec slowdown factor that fails --baseline "
+                    "comparison (default 2.0)")
+    args = ap.parse_args(argv)
+    report = run_host_perf(quick=args.quick, seed=args.seed)
+    print(format_host_perf(report))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report_to_jsonable(report, quick=args.quick, seed=args.seed),
+                      fh, indent=1)
+        print(f"\nwrote {args.out}")
+    if args.baseline:
+        failures = check_regression(
+            report, args.baseline, max_regression=args.max_regression
+        )
+        if failures:
+            for f in failures:
+                print(f"PERF REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print(f"perf check ok vs {args.baseline} "
+              f"(max regression {args.max_regression}x)")
+    return 0

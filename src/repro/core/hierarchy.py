@@ -72,16 +72,25 @@ class QueueHierarchy:
                 if id(anc) in self.by_node
             ]
             self._scan_paths.append(path)
+        #: cpuset-mask -> queue memo for queue_for_cpuset: every submission
+        #: routes, and real workloads reuse a handful of CPU sets (single
+        #: cores, cache/chip spans, the full machine) over and over
+        self._route_cache: dict[int, TaskQueue] = {}
 
     # ------------------------------------------------------------------
     def queue_for_cpuset(self, cpuset: CpuSet) -> TaskQueue:
         """Submission routing: narrowest covering node's queue."""
-        if not self.hierarchical:
-            if not cpuset.issubset(self.machine.root.cpuset):
-                raise ValueError(f"{cpuset!r} exceeds machine cores")
-            return self.global_queue
-        node = self.machine.node_covering(cpuset)
-        return self.by_node[id(node)]
+        queue = self._route_cache.get(cpuset.mask)
+        if queue is None:
+            if not self.hierarchical:
+                if not cpuset.issubset(self.machine.root.cpuset):
+                    raise ValueError(f"{cpuset!r} exceeds machine cores")
+                queue = self.global_queue
+            else:
+                node = self.machine.node_covering(cpuset)
+                queue = self.by_node[id(node)]
+            self._route_cache[cpuset.mask] = queue
+        return queue
 
     def scan_path(self, core: int) -> list[TaskQueue]:
         """Algorithm 1 order for a core (local queue ... global queue)."""

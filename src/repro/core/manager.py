@@ -104,6 +104,14 @@ class PIOMan:
         )
         self.stats = PIOManStats()
         self.latency = PIOManLatency()
+        # Bound-method caches for the per-pass histogram records: every
+        # Algorithm-1 pass ends in exactly one of these, and the two
+        # attribute hops per call are measurable at scan frequency.
+        self._rec_pass_empty = self.latency.schedule_pass_empty.record
+        self._rec_pass_productive = self.latency.schedule_pass_productive.record
+        # The hierarchy's per-core scan paths are fixed after construction;
+        # index them directly instead of a method call per Algorithm-1 pass.
+        self._scan_paths = self.hierarchy._scan_paths
         # Locks report contended handoffs onto the same trace stream, so
         # the analyzer can line contention intervals up with task slices.
         for queue in self.hierarchy.queues():
@@ -144,11 +152,12 @@ class PIOMan:
         yield Compute(spec.submit_route_ns)
         yield from queue.enqueue(core, task)
         self.stats.submits += 1
-        self.tracer.emit(
-            self.engine.now, "pioman", f"core{core}",
-            f"submit {task.name} -> {queue.name}",
-            phase="submit", task=task.name, queue=queue.name, core=core,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "pioman", f"core{core}",
+                f"submit {task.name} -> {queue.name}",
+                phase="submit", task=task.name, queue=queue.name, core=core,
+            )
         if self.scheduler is not None:
             # Only cores that may run the task spin on its queue.
             ringable = task.cpuset & queue.node.cpuset
@@ -173,11 +182,12 @@ class PIOMan:
         queue = self.hierarchy.queue_for_cpuset(task.cpuset)
         queue.enqueue_nowait(core, task)
         self.stats.submits += 1
-        self.tracer.emit(
-            self.engine.now, "pioman", f"core{core}",
-            f"submit {task.name} -> {queue.name}",
-            phase="submit", task=task.name, queue=queue.name, core=core,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "pioman", f"core{core}",
+                f"submit {task.name} -> {queue.name}",
+                phase="submit", task=task.name, queue=queue.name, core=core,
+            )
         if self.scheduler is not None:
             ringable = task.cpuset & queue.node.cpuset
             self.scheduler.ring_cpuset(ringable, core)
@@ -219,18 +229,21 @@ class PIOMan:
         """
         if self.scheduler is None:
             return None
+        cores = self.scheduler.cores
+        ncores = len(cores)
+        xfer_row = self.machine.xfer_row(from_core)
         best: Optional[int] = None
         best_d = None
         for c in cpuset:
-            if c >= len(self.scheduler.cores):
+            if c >= ncores:
                 continue
-            cur = self.scheduler.cores[c].current
-            idle_thread = self.scheduler.cores[c].idle_thread
-            is_idle = cur is None or cur is idle_thread
+            state = cores[c]
+            cur = state.current
+            is_idle = cur is None or cur is state.idle_thread
             if not is_idle and cur is not None and cur.prio == Prio.IDLE:
                 is_idle = True
             if is_idle:
-                d = self.machine.xfer(from_core, c)
+                d = xfer_row[c]
                 if best is None or d < best_d:
                     best, best_d = c, d
         return best
@@ -256,21 +269,23 @@ class PIOMan:
         ran = 0
         repeats = 0
         contended = False
-        pass_start = self.engine.now
+        engine = self.engine
+        pass_start = engine.now
         self.stats.schedule_passes += 1
         # Fast path: probe the whole scan path first and charge one batch
         # of read costs.  When everything is (visibly) empty — by far the
         # common case for an idle core — the pass costs a single event.
-        path = self.hierarchy.scan_path(core)
+        path = self._scan_paths[core]
         total_cost = 0
         any_hot = False
         for queue in path:
             visible, cost = queue.probe(core)
             total_cost += cost
-            any_hot = any_hot or visible
+            if visible:
+                any_hot = True
         yield Compute(total_cost)
         if not any_hot:
-            self.latency.schedule_pass_empty.record(self.engine.now - pass_start)
+            self._rec_pass_empty(engine.now - pass_start)
             return 0, 0, False
         for queue in path:
             seen: set[int] = set()
@@ -292,9 +307,9 @@ class PIOMan:
                     repeats += 1
         pass_ns = self.engine.now - pass_start
         if ran:
-            self.latency.schedule_pass_productive.record(pass_ns)
+            self._rec_pass_productive(pass_ns)
         else:
-            self.latency.schedule_pass_empty.record(pass_ns)
+            self._rec_pass_empty(pass_ns)
         return ran, repeats, contended
 
     def _run_task(
@@ -311,11 +326,12 @@ class PIOMan:
         self.stats.note_exec(core)
         if task.repeat and not complete:
             self.stats.repeat_requeues += 1
-            self.tracer.emit(
-                self.engine.now, "pioman", f"core{core}", f"repeat {task.name}",
-                phase="run", task=task.name, queue=queue.name, core=core,
-                start=t0, complete=False,
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.engine.now, "pioman", f"core{core}", f"repeat {task.name}",
+                    phase="run", task=task.name, queue=queue.name, core=core,
+                    start=t0, complete=False,
+                )
             yield from queue.enqueue(core, task)
             return False
         task.state = TaskState.DONE
@@ -327,11 +343,12 @@ class PIOMan:
         self.stats.tasks_completed += 1
         if task.completion is not None:
             yield SetFlag(task.completion)
-        self.tracer.emit(
-            self.engine.now, "pioman", f"core{core}", f"completed {task.name}",
-            phase="run", task=task.name, queue=queue.name, core=core,
-            start=t0, complete=True,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "pioman", f"core{core}", f"completed {task.name}",
+                phase="run", task=task.name, queue=queue.name, core=core,
+                start=t0, complete=True,
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -341,12 +358,9 @@ class PIOMan:
         """Remove a queued task (host-instant; used at teardown). Returns
         True if the task was found and cancelled."""
         for queue in self.hierarchy.queues():
-            try:
-                queue._tasks.remove(task)
-            except ValueError:
-                continue
-            task.state = TaskState.CANCELLED
-            return True
+            if queue.remove(task):
+                task.state = TaskState.CANCELLED
+                return True
         return False
 
     def pending_tasks(self) -> int:

@@ -52,12 +52,14 @@ def piom_wait(
     from repro.threads.instructions import Compute
 
     sched = pioman.scheduler
+    engine = pioman.engine
+    wait_hist = sched.keypoint_ns[Keypoint.WAIT] if sched is not None else None
     misses = 0
     while not flag.is_set:
-        t0 = pioman.engine.now
+        t0 = engine.now
         ran = (yield from pioman.schedule_once(core))[0]
-        if sched is not None:
-            sched.keypoint_ns[Keypoint.WAIT].record(pioman.engine.now - t0)
+        if wait_hist is not None:
+            wait_hist.record(engine.now - t0)
         if flag.is_set:
             return
         if ran == 0:

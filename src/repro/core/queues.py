@@ -45,6 +45,7 @@ class QueueStats:
 
     enqueues: int = 0
     dequeues: int = 0
+    removes: int = 0  # cancelled while queued (see TaskQueue.remove)
     empty_checks: int = 0
     nonempty_checks: int = 0
     lock_sections: int = 0
@@ -73,6 +74,8 @@ class TaskQueue:
         self.node = node
         self.name = f"q:{node.name}"
         home = node.cpuset.first() if node.cpuset else 0
+        #: home core of this queue's lines (narrowest covered core)
+        self.home = home
         self.lock = SpinLock(
             machine, engine, home=home, name=f"lock:{self.name}", stats=lock_stats, mem_stats=mem_stats
         )
@@ -89,13 +92,20 @@ class TaskQueue:
         self._trans_time = -(10**12)
         self._trans_writer = home
         self._prev_nonempty = False
+        # Probe fast-path caches: the machine's distance matrices and the
+        # local-hit cost are immutable after construction, and probe() runs
+        # once per queue per scan — method-call and attribute-chain costs
+        # there dominate an idle core's host time.
+        self._inval_m = machine._inval
+        self._xfer_m = machine._xfer
+        self._local_ns = machine.spec.local_ns
 
     def _visible_nonempty(self, core: int) -> bool:
         """Emptiness as observed by ``core`` (stale within one transfer)."""
         actual = bool(self._tasks)
         if core == self._trans_writer:
             return actual
-        lag = self.machine.inval(self._trans_writer, core)
+        lag = self._inval_m[self._trans_writer][core]
         if self.engine.now < self._trans_time + lag:
             return self._prev_nonempty
         return actual
@@ -124,17 +134,37 @@ class TaskQueue:
         pays the transfer miss.  The caller charges the cost (so a full
         scan of empty queues can be charged as one batch).
         """
-        visible = self._visible_nonempty(core)
-        if visible != bool(self._tasks):
-            cost = self.machine.spec.local_ns  # stale copy, local hit
-            self.state_line.stats.reads += 1
-            self.state_line.stats.read_hits += 1
+        # _visible_nonempty inlined: this is the single hottest queue
+        # operation (every queue on every scan path, every keypoint).
+        actual = True if self._tasks else False
+        writer = self._trans_writer
+        if core == writer:
+            visible = actual
         else:
-            cost = self.state_line.read(core)
+            lag = self._inval_m[writer][core]
+            if self.engine.now < self._trans_time + lag:
+                visible = self._prev_nonempty
+            else:
+                visible = actual
+        stats = self.stats
+        line = self.state_line
+        line_stats = line.stats
+        line_stats.reads += 1
+        if visible != actual:
+            cost = self._local_ns  # stale copy, local hit
+            line_stats.read_hits += 1
+        elif core in line.sharers:  # CacheLine.read inlined (hot)
+            line_stats.read_hits += 1
+            cost = self._local_ns
+        else:
+            line_stats.read_misses += 1
+            cost = self._xfer_m[line.owner][core]
+            line_stats.transfer_ns_total += cost
+            line.sharers.add(core)
         if visible:
-            self.stats.nonempty_checks += 1
+            stats.nonempty_checks += 1
         else:
-            self.stats.empty_checks += 1
+            stats.empty_checks += 1
         return visible, cost
 
     def peek_nonempty(self, core: int) -> Generator[Instr, Any, bool]:
@@ -181,7 +211,9 @@ class TaskQueue:
 
     def get_task(self, core: int) -> Generator[Instr, Any, Optional[LTask]]:
         """Algorithm 2: double-checked dequeue."""
-        nonempty = yield from self.peek_nonempty(core)
+        # peek_nonempty inlined: avoids a sub-generator per scan
+        nonempty, cost = self.probe(core)
+        yield Compute(cost)
         if not nonempty:
             return None
         yield self._acquire()
@@ -220,6 +252,29 @@ class TaskQueue:
                 del self._tasks[i]
                 return task
         return None
+
+    def remove(self, task: LTask) -> bool:
+        """Remove a queued task (host-instant; cancellation/teardown path).
+
+        The public counterpart of reaching into ``_tasks``: keeps the
+        queue's counters consistent (``stats.removes``) and notes the
+        emptiness transition when the removal drains the queue, so pollers
+        observe the state change with the same stale-window semantics as a
+        dequeue.  The removal is attributed to the queue's home core (the
+        canceller's core is unknown on this host-instant path).  Returns
+        False if the task is not queued here.
+
+        Works unchanged for every variant (mutex, lock-free, always-lock):
+        they all share the underlying task list.
+        """
+        try:
+            self._tasks.remove(task)
+        except ValueError:
+            return False
+        self.stats.removes += 1
+        if not self._tasks:
+            self._note_transition(self.home, prev_nonempty=True)
+        return True
 
     def register_into(self, registry, prefix: str = "") -> None:
         """Register this queue's counters — list traffic, lock behaviour

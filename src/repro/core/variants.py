@@ -91,7 +91,8 @@ class LockFreeTaskQueue(TaskQueue):
             self.stats.max_len = len(self._tasks)
 
     def get_task(self, core: int) -> Generator[Instr, Any, Optional[LTask]]:
-        nonempty = yield from self.peek_nonempty(core)
+        nonempty, cost = self.probe(core)
+        yield Compute(cost)
         if not nonempty:
             return None
         yield Compute(self._rmw_cost(core))

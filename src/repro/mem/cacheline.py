@@ -93,24 +93,34 @@ class CacheLine:
 
     def write(self, core: int) -> int:
         """Store by ``core``; invalidates all other sharers; latency in ns."""
-        spec = self.machine.spec
+        machine = self.machine
         st = self.stats
+        sharers = self.sharers
         st.writes += 1
-        if self.owner == core and self.sharers == {core}:
+        # owner is always a sharer, so owner==core + one sharer == {core}
+        if self.owner == core and len(sharers) == 1:
             st.write_hits += 1
-            return spec.local_ns
+            return machine.spec.local_ns
         # Fetch the line if we do not hold a copy at all.
-        cost = 0
-        if core not in self.sharers:
-            cost += self.machine.xfer(self.owner, core)
+        if core in sharers:
+            cost = machine.spec.local_ns
         else:
-            cost += spec.local_ns
+            cost = machine.xfer(self.owner, core)
         # Invalidate every other sharer; the writer observes the latency of
-        # the farthest acknowledgement.
-        others = [s for s in self.sharers if s != core]
-        if others:
-            st.invalidations += len(others)
-            cost += max(self.machine.xfer(core, s) for s in others)
+        # the farthest acknowledgement.  Loop instead of list + max(): this
+        # runs on every contended store.
+        inval = 0
+        farthest = 0
+        xrow = machine.xfer_row(core)
+        for s in sharers:
+            if s != core:
+                inval += 1
+                d = xrow[s]
+                if d > farthest:
+                    farthest = d
+        if inval:
+            st.invalidations += inval
+            cost += farthest
         st.transfer_ns_total += cost
         self.owner = core
         self.sharers = {core}
@@ -126,10 +136,11 @@ class CacheLine:
         physical transfer to both the writer and the notified reader.
         """
         st = self.stats
+        sharers = self.sharers
         st.writes += 1
-        others = [s for s in self.sharers if s != core]
+        others = len(sharers) - (1 if core in sharers else 0)
         if others:
-            st.invalidations += len(others)
+            st.invalidations += others
         else:
             st.write_hits += 1
         self.owner = core

@@ -54,7 +54,7 @@ class Fabric:
         dst = self.peer_nic(src_nic, frame.dst_node)
         if dst is src_nic:
             raise ValueError("frame addressed to its own NIC")
-        self.engine.schedule_at(arrive_at, dst._deliver, frame)
+        self.engine.post_at(arrive_at, dst._deliver, frame)
 
     def nics(self) -> list[Nic]:
         return list(self._nics.values())

@@ -9,7 +9,7 @@ from typing import Any, Optional
 _frame_seq = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One frame on the wire.
 
@@ -35,7 +35,7 @@ class Frame:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """One completion-queue entry."""
 

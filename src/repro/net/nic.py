@@ -95,7 +95,7 @@ class Nic:
         self.stats.bytes_sent += frame.size_bytes
         self.fabric.deliver(self, frame, arrive)
         if signal_done:
-            eng.schedule_at(depart, self._complete, Completion(kind="send_done", frame=frame))
+            eng.post_at(depart, self._complete, Completion(kind="send_done", frame=frame))
         return arrive
 
     def tx_idle(self) -> bool:
@@ -127,8 +127,8 @@ class Nic:
         peer.stats.bytes_sent += size_bytes
         self.stats.rdma_reads_issued += 1
         done = start + data_wire
-        eng.schedule_at(done, self._complete, Completion(kind="rdma_done", meta=meta))
-        eng.schedule_at(depart, peer._complete, Completion(kind="rdma_served", meta=meta))
+        eng.post_at(done, self._complete, Completion(kind="rdma_done", meta=meta))
+        eng.post_at(depart, peer._complete, Completion(kind="rdma_served", meta=meta))
 
     # ------------------------------------------------------------------
     # receive / completion path

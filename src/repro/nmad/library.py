@@ -172,10 +172,11 @@ class NMad:
                 },
                 request=req,
             )
-        self.tracer.emit(
-            self.engine.now, "nmad", f"node{self.node.id}",
-            f"isend #{req.seq} -> {peer} tag={tag} {size}B ({req.protocol})",
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "nmad", f"node{self.node.id}",
+                f"isend #{req.seq} -> {peer} tag={tag} {size}B ({req.protocol})",
+            )
         yield from self._submit_pw(core, gate, pw)
         yield from self._ensure_polling(core)
         return req
@@ -321,10 +322,11 @@ class NMad:
             meta = self._frame_meta(kind, size, pws)
             frame = Frame(kind, self.node.id, gate.peer_node, size, meta=meta)
             nic.post_send(frame)
-            self.tracer.emit(
-                self.engine.now, "wire", nic.name,
-                f"tx {kind} {size}B -> node{gate.peer_node}",
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.engine.now, "wire", nic.name,
+                    f"tx {kind} {size}B -> node{gate.peer_node}",
+                )
             gate.stats.frames_out += 1
             self.stats.frames_posted += 1
             for pw in pws:
@@ -366,10 +368,11 @@ class NMad:
         if target is not None:
             task.cpuset = CpuSet.single(target)
         self.pioman.submit_nowait(core, task)
-        self.tracer.emit(
-            self.engine.now, "nmad", f"node{self.node.id}",
-            f"filter {f.name}: {size}B -> {f.encoded_size(size)}B deferred",
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "nmad", f"node{self.node.id}",
+                f"filter {f.name}: {size}B -> {f.encoded_size(size)}B deferred",
+            )
         return True
 
     def _frame_meta(self, kind: str, size: int, pws: list[PacketWrapper]) -> dict:
@@ -486,10 +489,11 @@ class NMad:
             )
             self.pioman.submit_nowait(core, task)
             return
-        self.tracer.emit(
-            self.engine.now, "nmad", f"node{self.node.id}",
-            f"rx {kind} from node{meta.get('src', '?')}",
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "nmad", f"node{self.node.id}",
+                f"rx {kind} from node{meta.get('src', '?')}",
+            )
         if kind == "eager":
             self._arrive_eager(core, meta)
         elif kind == "rts":

@@ -51,15 +51,17 @@ class Histogram:
         v = int(value)
         if v < 0:
             v = 0
+        buckets = self._buckets
         idx = v.bit_length()
-        if idx >= len(self._buckets):
-            self._buckets.extend([0] * (idx + 1 - len(self._buckets)))
-        self._buckets[idx] += 1
-        if self._count == 0 or v < self._min:
+        if idx >= len(buckets):
+            buckets.extend([0] * (idx + 1 - len(buckets)))
+        buckets[idx] += 1
+        count = self._count
+        if count == 0 or v < self._min:
             self._min = v
         if v > self._max:
             self._max = v
-        self._count += 1
+        self._count = count + 1
         self._sum += v
 
     def record_many(self, values: Iterable[Number]) -> None:

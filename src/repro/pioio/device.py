@@ -94,7 +94,7 @@ class BlockDevice:
             xfer_start = max(ready, self._bw_free)
             done = xfer_start + op.size * 1_000 // self.spec.bytes_per_us
             self._bw_free = done
-            self.engine.schedule_at(done, self._complete, op)
+            self.engine.post_at(done, self._complete, op)
 
     def _complete(self, op: IoOp) -> None:
         self._inflight -= 1

@@ -1,25 +1,35 @@
 """The discrete-event engine.
 
 A single :class:`Engine` instance drives an entire simulated cluster: all
-cores of all nodes, all NICs and all wires share one virtual clock.  Events
-are ``(time, seq, callback)`` triples on a binary heap; ``seq`` is a global
-monotonically increasing counter so that simultaneous events fire in
-submission order, which makes every run bit-for-bit reproducible.
+cores of all nodes, all NICs and all wires share one virtual clock.  Heap
+entries are plain ``(time, seq, event)`` tuples so heap sift compares at
+C speed (``seq`` is a global monotonically increasing counter, so ties
+fire in submission order and the third element is never compared) —
+every run is bit-for-bit reproducible.
 
 The engine knows nothing about cores or networks — higher layers schedule
-plain callbacks.  Two conveniences are provided because every layer needs
-them:
+plain callbacks.  Two API families exist because the callers split
+cleanly into two camps:
 
-* :meth:`Engine.schedule` returns an :class:`Event` handle that can be
-  *cancelled* (lazy deletion — the heap entry is kept but skipped).
-* *Idle hooks*: callables consulted when the heap drains while some
-  component still claims to be waiting for progress; used by the cluster
-  harness to detect deadlocks instead of silently returning.
+* :meth:`Engine.schedule` / :meth:`Engine.call_soon` return an
+  :class:`Event` handle that can be *cancelled* (lazy deletion — the heap
+  entry is kept but skipped).  Used when the caller keeps the handle
+  (sleep timers, interruptible compute slices).
+* :meth:`Engine.post` / :meth:`Engine.post_soon` / :meth:`Engine.post_at`
+  are the fire-and-forget fast path: no handle escapes, so the Event
+  carrier object is recycled through a free pool after it fires instead
+  of being reallocated — the dominant case (dispatch ticks, lock grants,
+  doorbell rings, wire deliveries).
+
+*Idle hooks*: callables consulted when the heap drains while some
+component still claims to be waiting for progress; used by the cluster
+harness to detect deadlocks instead of silently returning.
 """
 
 from __future__ import annotations
 
-import heapq
+import math
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 
@@ -34,12 +44,15 @@ class DeadlockError(SimulationError):
 class Event:
     """Handle for a scheduled callback.
 
-    Instances are ordered by ``(time, seq)`` so they can live directly on
-    the heap.  ``cancel()`` marks the event dead; the engine skips dead
-    events when they surface.
+    Lives as the third element of a ``(time, seq, event)`` heap tuple;
+    ``cancel()`` marks the event dead and the engine skips dead events
+    when they surface.  ``_engine`` is set while the event is queued and
+    cancellable, so cancellation can maintain the engine's O(1) live
+    count; ``_pooled`` events are internal fire-and-forget carriers that
+    return to the engine's free pool after firing.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "alive")
+    __slots__ = ("time", "seq", "fn", "args", "alive", "_engine", "_pooled")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -47,10 +60,17 @@ class Event:
         self.fn = fn
         self.args = args
         self.alive = True
+        self._engine: Optional["Engine"] = None
+        self._pooled = False
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self.alive = False
+        if self.alive:
+            self.alive = False
+            eng = self._engine
+            if eng is not None:
+                self._engine = None
+                eng._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -60,14 +80,30 @@ class Event:
         return f"<Event t={self.time} seq={self.seq} {state} {getattr(self.fn, '__name__', self.fn)!r}>"
 
 
+def _coerce_delay(delay: Any) -> int:
+    """Validate and round a non-int delay (slow path, shared by schedule
+    and post).  Rejects negative and non-finite values loudly — a ``nan``
+    or ``inf`` delay silently mis-rounding would corrupt the virtual
+    clock far from the bug that produced it."""
+    if isinstance(delay, float) and not math.isfinite(delay):
+        raise ValueError(f"non-finite delay {delay!r}")
+    if delay < 0:
+        raise ValueError(f"negative delay {delay!r}")
+    d = int(delay)
+    return d if d == delay or d > delay else d + 1
+
+
 class Engine:
     """Deterministic discrete-event loop with a nanosecond virtual clock."""
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: list[Event] = []
+        self._heap: list[tuple[int, int, Event]] = []
         self._seq: int = 0
+        self._live: int = 0
         self._running = False
+        #: free pool of fire-and-forget Event carriers (see :meth:`post`)
+        self._pool: list[Event] = []
         #: number of callbacks actually executed (dead events excluded)
         self.fired: int = 0
         #: callables polled when the heap drains; if any returns True the
@@ -79,22 +115,24 @@ class Engine:
         self.blocked_reporters: list[Callable[[], int]] = []
 
     # ------------------------------------------------------------------
-    # scheduling
+    # scheduling — cancellable handles
     # ------------------------------------------------------------------
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now.
 
-        ``delay`` must be non-negative; fractional delays are rounded up so
-        a nonzero delay never becomes zero.
+        ``delay`` must be non-negative and finite; fractional delays are
+        rounded up so a nonzero delay never becomes zero.
         """
-        if delay < 0:
+        if type(delay) is not int:
+            delay = _coerce_delay(delay)
+        elif delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        if not isinstance(delay, int):
-            d = int(delay)
-            delay = d if d == delay or d > delay else d + 1
-        ev = Event(self.now + delay, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(self.now + delay, seq, fn, args)
+        ev._engine = self
+        self._live += 1
+        heappush(self._heap, (ev.time, seq, ev))
         return ev
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
@@ -105,7 +143,78 @@ class Engine:
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at the current time (after pending ties)."""
-        return self.schedule(0, fn, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(self.now, seq, fn, args)
+        ev._engine = self
+        self._live += 1
+        heappush(self._heap, (ev.time, seq, ev))
+        return ev
+
+    # ------------------------------------------------------------------
+    # scheduling — fire-and-forget fast path (pooled, no handle)
+    # ------------------------------------------------------------------
+    def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, carrier recycled."""
+        if type(delay) is not int:
+            delay = _coerce_delay(delay)
+        elif delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.alive = True
+        else:
+            ev = Event(time, seq, fn, args)
+            ev._pooled = True
+        self._live += 1
+        heappush(self._heap, (time, seq, ev))
+
+    def post_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.alive = True
+        else:
+            ev = Event(time, seq, fn, args)
+            ev._pooled = True
+        self._live += 1
+        heappush(self._heap, (time, seq, ev))
+
+    def post_soon(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`call_soon`."""
+        time = self.now
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.alive = True
+        else:
+            ev = Event(time, seq, fn, args)
+            ev._pooled = True
+        self._live += 1
+        heappush(self._heap, (time, seq, ev))
 
     # ------------------------------------------------------------------
     # execution
@@ -113,23 +222,35 @@ class Engine:
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the heap is drained."""
         self._skim()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def _skim(self) -> None:
-        while self._heap and not self._heap[0].alive:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and not heap[0][2].alive:
+            heappop(heap)
+
+    def _fire(self, ev: Event) -> None:
+        """Run one popped live event (clock already advanced)."""
+        self.fired += 1
+        self._live -= 1
+        ev._engine = None
+        fn = ev.fn
+        args = ev.args
+        if ev._pooled:
+            ev.fn = ev.args = None  # drop references before the pool
+            self._pool.append(ev)
+        fn(*args)
 
     def step(self) -> bool:
         """Run the single next live event.  Returns False if none exist."""
         self._skim()
         if not self._heap:
             return False
-        ev = heapq.heappop(self._heap)
-        if ev.time < self.now:  # pragma: no cover - heap invariant guard
+        time, _, ev = heappop(self._heap)
+        if time < self.now:  # pragma: no cover - heap invariant guard
             raise SimulationError("event heap produced a past event")
-        self.now = ev.time
-        self.fired += 1
-        ev.fn(*ev.args)
+        self.now = time
+        self._fire(ev)
         return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -144,12 +265,66 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         fired_at_entry = self.fired
+        heap = self._heap
+        pool = self._pool
+        pop = heappop
+        bounded = until is not None or max_events is not None
         try:
+            if not bounded:
+                # Hot loop: no bound checks, locals only, :meth:`_fire`
+                # inlined (one Python call per event is measurable here).
+                # ``fired`` is accumulated in a local and flushed on every
+                # exit path — nothing reads it mid-run (callbacks only post
+                # events; counters are inspected after run() returns).
+                nfired = 0
+                try:
+                    while True:
+                        if not heap:
+                            if any(hook() for hook in self.drain_hooks):
+                                continue
+                            blocked = sum(r() for r in self.blocked_reporters)
+                            if blocked:
+                                raise DeadlockError(
+                                    f"event heap drained at t={self.now} ns with "
+                                    f"{blocked} actor(s) still blocked"
+                                )
+                            return self.now
+                        # Pop first, check liveness after: saves the peek
+                        # (heap[0][2] + .alive) that the common live event
+                        # would otherwise pay before its own pop.
+                        time, _, ev = pop(heap)
+                        if not ev.alive:
+                            if ev._pooled:  # recycle cancelled carriers too
+                                ev.fn = ev.args = None
+                                pool.append(ev)
+                            continue
+                        self.now = time
+                        nfired += 1
+                        self._live -= 1
+                        fn = ev.fn
+                        args = ev.args
+                        if ev._pooled:
+                            ev.fn = ev.args = None  # drop refs before pooling
+                            pool.append(ev)
+                        else:
+                            # handles must forget the engine once fired, so a
+                            # late cancel() cannot corrupt the live count
+                            ev._engine = None
+                        fn(*args)
+                finally:
+                    self.fired += nfired
             while True:
                 if max_events is not None and self.fired - fired_at_entry >= max_events:
                     return self.now
-                nxt = self.peek_time()
-                if nxt is None:
+                while heap:
+                    ev = heap[0][2]
+                    if ev.alive:
+                        break
+                    pop(heap)
+                    if ev._pooled:
+                        ev.fn = ev.args = None
+                        pool.append(ev)
+                if not heap:
                     if any(hook() for hook in self.drain_hooks):
                         continue
                     blocked = sum(r() for r in self.blocked_reporters)
@@ -159,10 +334,21 @@ class Engine:
                             f"{blocked} actor(s) still blocked"
                         )
                     return self.now
-                if until is not None and nxt > until:
+                time = heap[0][0]
+                if until is not None and time > until:
                     self.now = until
                     return self.now
-                self.step()
+                _, _, ev = pop(heap)
+                self.now = time
+                self.fired += 1
+                self._live -= 1
+                ev._engine = None
+                fn = ev.fn
+                args = ev.args
+                if ev._pooled:
+                    ev.fn = ev.args = None
+                    pool.append(ev)
+                fn(*args)
         finally:
             self._running = False
 
@@ -171,8 +357,8 @@ class Engine:
         return self.run()
 
     def pending(self) -> int:
-        """Number of live events still queued (O(n); for tests/diagnostics)."""
-        return sum(1 for ev in self._heap if ev.alive)
+        """Number of live events still queued (O(1))."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self.now}ns pending={self.pending()} fired={self.fired}>"

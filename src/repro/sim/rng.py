@@ -21,6 +21,8 @@ class Rng:
     components without perturbing each other's sequences.
     """
 
+    __slots__ = ("seed", "_r")
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._r = random.Random(seed)

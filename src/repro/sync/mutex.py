@@ -96,14 +96,15 @@ class Mutex:
         wait_ns = grant_time - t_enq
         self.stats.note_acquire(waiter.core_id, contended=True, spin_ns=wait_ns)
         self.stats.handoffs += 1
-        self.tracer.emit(
-            self.engine.now, "lock", f"core{waiter.core_id}",
-            f"contended {self.name or 'mutex'}",
-            phase="lock", lock=self.name or "mutex", core=waiter.core_id,
-            wait_ns=wait_ns, start=t_enq,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "lock", f"core{waiter.core_id}",
+                f"contended {self.name or 'mutex'}",
+                phase="lock", lock=self.name or "mutex", core=waiter.core_id,
+                wait_ns=wait_ns, start=t_enq,
+            )
         # The scheduler charges the context-switch cost when re-dispatching.
-        self.engine.schedule(delay, waiter.scheduler.wake, waiter)
+        self.engine.post(delay, waiter.scheduler.wake, waiter)
         return cost
 
     def register_into(self, registry, path: Optional[str] = None) -> None:

@@ -101,7 +101,7 @@ class SpinLock:
             self.holder = core
             self._acquired_at = now + cost
             self.stats.note_acquire(core, contended=False)
-            self.engine.schedule(cost, grant_cb)
+            self.engine.post(cost, grant_cb)
             return None
         # Contended: pay the failed CAS, then spin until handed off.
         self.line.rmw(core)  # mutates coherence state; latency folded into spin
@@ -146,22 +146,37 @@ class SpinLock:
         # a waiter older than the starvation bound takes priority (without
         # this, two nearby cores can ping-pong the lock forever while
         # remote spinners starve).
-        oldest = min(self._waiters, key=lambda w: w.seq)
-        starved = (
-            self.engine.now - oldest.enqueue_time
-            >= self.machine.spec.lock_starvation_ns
-        )
-        if starved:
-            winner = oldest
+        ws = self._waiters
+        xfer_row = self.machine.xfer_row(core)
+        if len(ws) == 1:
+            # single waiter: oldest == nearest == winner, no CAS storm
+            winner = ws.pop()
+            xfer = xfer_row[winner.core]
         else:
-            winner = min(
-                self._waiters,
-                key=lambda w: (self.machine.xfer(core, w.core), w.seq),
+            # appends happen in ascending seq order and removals preserve
+            # relative order, so the oldest waiter is always at index 0
+            oldest = ws[0]
+            starved = (
+                self.engine.now - oldest.enqueue_time
+                >= self.machine.spec.lock_starvation_ns
             )
-        self._waiters.remove(winner)
-        xfer = self.machine.xfer(core, winner.core)
-        if self._waiters:  # others still hammering the line (CAS storm)
-            xfer = int(xfer * self.machine.spec.contended_factor)
+            if starved:
+                winner = oldest
+            else:
+                # min(ws, key=(xfer, seq)) without a lambda per element
+                winner = ws[0]
+                bx = xfer_row[winner.core]
+                bs = winner.seq
+                for w in ws:
+                    x = xfer_row[w.core]
+                    if x < bx or (x == bx and w.seq < bs):
+                        winner = w
+                        bx = x
+                        bs = w.seq
+            ws.remove(winner)
+            xfer = xfer_row[winner.core]
+            if ws:  # others still hammering the line (CAS storm)
+                xfer = int(xfer * self.machine.spec.contended_factor)
         delay = cost + xfer + self.machine.spec.cas_ns
         self.holder = winner.core  # ownership transfers at release time
         grant_time = self.engine.now + delay
@@ -169,13 +184,14 @@ class SpinLock:
         spin_ns = grant_time - winner.enqueue_time
         self.stats.note_acquire(winner.core, contended=True, spin_ns=spin_ns)
         self.stats.handoffs += 1
-        self.tracer.emit(
-            self.engine.now, "lock", f"core{winner.core}",
-            f"contended {self.name or 'spinlock'}",
-            phase="lock", lock=self.name or "spinlock", core=winner.core,
-            wait_ns=spin_ns, start=winner.enqueue_time,
-        )
-        self.engine.schedule(delay, winner.grant_cb)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "lock", f"core{winner.core}",
+                f"contended {self.name or 'spinlock'}",
+                phase="lock", lock=self.name or "spinlock", core=winner.core,
+                wait_ns=spin_ns, start=winner.enqueue_time,
+            )
+        self.engine.post(delay, winner.grant_cb)
         return cost
 
     # -- observability --------------------------------------------------

@@ -68,13 +68,15 @@ class Flag:
         cost = self.line.write_async(core)
         self.is_set = True
         self.set_time = self.engine.now
-        spinners, self._spinners = self._spinners, []
-        for waiter_core, resume in spinners:
-            self.engine.schedule(self.machine.xfer(core, waiter_core), resume)
-        blockers, self._blockers = self._blockers, []
-        for thread in blockers:
-            delay = self.machine.xfer(core, thread.core_id)
-            self.engine.schedule(delay, thread.scheduler.wake, thread)
+        if self._spinners:
+            spinners, self._spinners = self._spinners, []
+            for waiter_core, resume in spinners:
+                self.engine.post(self.machine.xfer(core, waiter_core), resume)
+        if self._blockers:
+            blockers, self._blockers = self._blockers, []
+            for thread in blockers:
+                delay = self.machine.xfer(core, thread.core_id)
+                self.engine.post(delay, thread.scheduler.wake, thread)
         return cost
 
     def reset(self, core: int) -> int:

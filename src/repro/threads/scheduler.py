@@ -33,8 +33,10 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
+from heapq import heappush
+
 from repro.obs.histogram import Histogram
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, Event
 from repro.sim.rng import Rng
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.threads.flag import Flag
@@ -54,6 +56,9 @@ from repro.threads.instructions import (
     YieldCPU,
 )
 from repro.threads.thread import Prio, SimThread, ThreadCtx, TState
+
+#: bound once: TState.RUNNING is tested on every event fire in _advance
+_RUNNING = TState.RUNNING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
@@ -142,6 +147,12 @@ class Scheduler:
         self.true_spin = true_spin
         self._seq = 0
         self._rr_seq = 0
+        #: timer quantum cached off the (immutable) spec: read once per
+        #: Compute instruction on the interpreter fast path
+        self._quantum_ns = machine.spec.timer_quantum_ns
+        #: cpuset-mask -> tuple of ringable core ids (doorbell fan-out is
+        #: per-submission hot; the mask universe is tiny and stable)
+        self._ring_sets: dict[int, tuple[int, ...]] = {}
         #: per-keypoint progression-pass duration distributions: how long
         #: one hook invocation takes when driven from each keypoint kind
         #: (registry paths ``sched.<name>.keypoint_ns.idle.p99`` ...)
@@ -199,21 +210,32 @@ class Scheduler:
     def _idle_body(self, ctx: ThreadCtx) -> Generator[Instr, Any, Any]:
         core_id = ctx.core_id
         spec = self.machine.spec
+        engine = self.engine
+        counts = self.cores[core_id].keypoint_counts
+        hist = self.keypoint_ns[Keypoint.IDLE]
+        kp_idle = Keypoint.IDLE
+        # Instructions are read-only values to the interpreter, so the
+        # idle loop reuses one instance of each instead of allocating per
+        # pass (this loop runs on every core at every keypoint).
+        park = Park()
+        yield_cpu = YieldCPU()
+        sleep_probe = Sleep(spec.probe_cycle_ns)
+        sleep_repoll = Sleep(spec.idle_repoll_ns)
         linger = 0
         while True:
             hook = self.progression_hook
             if hook is None:
-                yield Park()
+                yield park
                 continue
-            self.cores[core_id].keypoint_counts[Keypoint.IDLE] += 1
-            hook_t0 = self.engine.now
+            counts[kp_idle] += 1
+            hook_t0 = engine.now
             res = yield from hook(core_id)
-            self.keypoint_ns[Keypoint.IDLE].record(self.engine.now - hook_t0)
+            hist.record(engine.now - hook_t0)
             if res is None:
                 res = (0, 0, False)
             ran, repeats, contended = (res + (False,))[:3]
             if self._has_ready_normal(core_id):
-                yield YieldCPU()
+                yield yield_cpu
             elif ran > repeats:
                 # made real progress (completed at least one task):
                 # rescan immediately
@@ -224,23 +246,26 @@ class Scheduler:
                 # real spinner would — this keeps contention alive across
                 # back-to-back submissions (paper Tables I/II, level 2/3).
                 linger += 1
-                yield Sleep(spec.probe_cycle_ns)
+                yield sleep_probe
             elif repeats and self.normal_live > 0:
                 linger = 0
-                yield Sleep(spec.idle_repoll_ns)
+                yield sleep_repoll
             elif self.true_spin and self.normal_live > 0:
                 # literal spin-polling: re-scan one probe cycle from now
                 linger = 0
-                yield Sleep(spec.probe_cycle_ns)
+                yield sleep_probe
             else:
                 linger = 0
-                yield Park()
+                yield park
 
     def _has_ready_normal(self, core_id: int) -> bool:
-        return any(
-            t.prio <= Prio.NORMAL and t.state is TState.READY
-            for t in self.cores[core_id].run_queue
-        )
+        # plain loop: this runs once per idle pass, and a genexp + any()
+        # allocates a generator and a frame every call
+        ready = TState.READY
+        for t in self.cores[core_id].run_queue:
+            if t.prio <= Prio.NORMAL and t.state is ready:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # doorbells
@@ -254,22 +279,22 @@ class Scheduler:
         random phase is what lets equidistant cores race in varying order
         (and is the source of the contention storms the paper measures on
         the global queue)."""
-        spec = self.machine.spec
-        phase = self.rng.uniform(0.0, float(spec.probe_cycle_ns))
+        phase = self.rng.uniform(0.0, float(self.machine.spec.probe_cycle_ns))
         # A probe cannot observe the write before the invalidation reaches
-        # this core: the ring lands no earlier than that propagation.
-        notice = max(
-            self.machine.xfer(from_core, core_id),
-            self.machine.inval(from_core, core_id),
-        )
-        delay = int(phase) + notice + extra_ns
-        self.engine.schedule(delay, self._ring_arrive, core_id)
+        # this core: the ring lands no earlier than that propagation
+        # (``notice`` is the precomputed max of transfer and invalidation).
+        delay = int(phase) + self.machine.notice(from_core, core_id) + extra_ns
+        self.engine.post(delay, self._ring_arrive, core_id)
 
     def ring_cpuset(self, cpuset, from_core: int, extra_ns: int = 0) -> None:
         """Ring every core in a CPU set (used on task submission)."""
-        for c in cpuset:
-            if c < len(self.cores):
-                self.ring_doorbell(c, from_core, extra_ns)
+        cores = self._ring_sets.get(cpuset.mask)
+        if cores is None:
+            ncores = len(self.cores)
+            cores = tuple(c for c in cpuset if c < ncores)
+            self._ring_sets[cpuset.mask] = cores
+        for c in cores:
+            self.ring_doorbell(c, from_core, extra_ns)
 
     def _ring_arrive(self, core_id: int) -> None:
         idle = self.cores[core_id].idle_thread
@@ -306,8 +331,8 @@ class Scheduler:
         core.run_queue.append(thread)
         cur = core.current
         if cur is None:
-            self.engine.call_soon(self._dispatch, core.id)
-        elif int(thread.prio) < int(cur.prio):
+            self.engine.post_soon(self._dispatch, core.id)
+        elif thread.prio < cur.prio:
             core.preempt_pending = True
             if cur.spin_cancel is not None:
                 # A higher-priority arrival must not wait behind an
@@ -316,10 +341,24 @@ class Scheduler:
 
     def _dispatch(self, core_id: int) -> None:
         core = self.cores[core_id]
-        if core.current is not None or not core.run_queue:
+        rq = core.run_queue
+        if core.current is not None or not rq:
             return
-        nxt = min(core.run_queue, key=SimThread.sort_key)
-        core.run_queue.remove(nxt)
+        if len(rq) == 1:  # the common case: nothing to arbitrate
+            nxt = rq.pop()
+        else:
+            # min(rq, key=sort_key) without a method call per element:
+            # order by (priority, FIFO arrival), first occurrence wins ties.
+            nxt = rq[0]
+            bp = nxt.prio
+            bs = nxt.rq_seq
+            for t in rq:
+                p = t.prio
+                if p < bp or (p == bp and t.rq_seq < bs):
+                    nxt = t
+                    bp = p
+                    bs = t.rq_seq
+            rq.remove(nxt)
         prev = core.last_thread
         switch_cost = 0
         if prev is not nxt and prev is not None:
@@ -331,17 +370,31 @@ class Scheduler:
         nxt.state = TState.RUNNING
         if nxt.prio == Prio.NORMAL:
             self._arm_timer(core)
-        nxt.instr_start = self.engine.now + switch_cost
-        if switch_cost:
-            self.engine.schedule(switch_cost, self._advance, core_id, nxt)
+        engine = self.engine
+        t = engine.now + switch_cost
+        nxt.instr_start = t
+        # engine.post/post_soon inlined: one dispatch per thread switch
+        seq = engine._seq
+        engine._seq = seq + 1
+        pool = engine._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = t
+            ev.seq = seq
+            ev.fn = self._advance
+            ev.args = (core, nxt)
+            ev.alive = True
         else:
-            self.engine.call_soon(self._advance, core_id, nxt)
+            ev = Event(t, seq, self._advance, (core, nxt))
+            ev._pooled = True
+        engine._live += 1
+        heappush(engine._heap, (t, seq, ev))
 
     def _release_core(self, core: CoreState) -> None:
         core.current = None
         core.preempt_pending = False
         if core.run_queue:
-            self.engine.call_soon(self._dispatch, core.id)
+            self.engine.post_soon(self._dispatch, core.id)
 
     # -- keypoint hook injection ---------------------------------------
     def _maybe_inject_hook(
@@ -375,9 +428,10 @@ class Scheduler:
 
         t = self.spawn(body, core.id, name=f"hook-{kind.value}@{core.id}", prio=Prio.SYSTEM)
         t.is_hook = True
-        self.tracer.emit(
-            self.engine.now, "sched", f"core{core.id}", f"inject {kind.value} hook"
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "sched", f"core{core.id}", f"inject {kind.value} hook"
+            )
 
     def inject_keypoint(self, core_id: int) -> None:
         """Force a progression keypoint on a core as soon as possible.
@@ -408,7 +462,7 @@ class Scheduler:
         if core.timer_armed:
             return
         core.timer_armed = True
-        self.engine.schedule(self.machine.spec.timer_quantum_ns, self._timer_tick, core.id)
+        self.engine.post(self.machine.spec.timer_quantum_ns, self._timer_tick, core.id)
 
     def _timer_tick(self, core_id: int) -> None:
         core = self.cores[core_id]
@@ -419,10 +473,13 @@ class Scheduler:
         core.timer_ticks += 1
         self._maybe_inject_hook(core, Keypoint.TIMER, cur, cur)
         # Round-robin among ready threads at or above the current priority.
-        contender = any(
-            t.state is TState.READY and int(t.prio) <= int(cur.prio)
-            for t in core.run_queue
-        )
+        contender = False
+        ready = TState.READY
+        cur_prio = cur.prio
+        for t in core.run_queue:
+            if t.state is ready and t.prio <= cur_prio:
+                contender = True
+                break
         if contender:
             core.preempt_pending = True
             if cur.spin_cancel is not None:
@@ -435,10 +492,16 @@ class Scheduler:
     # ------------------------------------------------------------------
     # instruction interpreter
     # ------------------------------------------------------------------
-    def _advance(self, core_id: int, thread: SimThread) -> None:
-        core = self.cores[core_id]
-        if core.current is not thread or thread.state is not TState.RUNNING:
+    def _advance(self, core: CoreState, thread: SimThread) -> None:
+        # Callers pass the CoreState object itself (not the core id): this
+        # is the most frequently fired callback in the simulator and the
+        # per-event ``self.cores[id]`` lookup was measurable.
+        if core.current is not thread or thread.state is not _RUNNING:
             return  # stale event (thread moved on)
+        # An in-flight Compute slice schedules _advance directly as its
+        # completion callback (no trampoline), so the slice handle is
+        # dropped here — before anything below can recycle the carrier.
+        thread.compute_event = None
         if core.preempt_pending and self._should_preempt(core, thread):
             self._preempt(core, thread)
             return
@@ -453,17 +516,56 @@ class Scheduler:
                 self._finish(core, thread)
                 return
             thread.resume_value = None
-        thread.instr_start = self.engine.now
+        engine = self.engine
+        thread.instr_start = engine.now
+        # The single hottest branch — a Compute slice — is inlined here
+        # (including the engine's heap push): _advance runs once per
+        # instruction, and the call fan-out dominates host time.
+        if instr.__class__ is Compute:
+            ns = instr.ns
+            quantum = self._quantum_ns
+            slice_ns = ns if ns <= quantum else quantum
+            if type(slice_ns) is int:
+                remaining = ns - slice_ns
+                if remaining > 0:
+                    thread.pending_instr = Compute(remaining)
+                thread.cpu_ns += slice_ns
+                core.busy_ns += slice_ns
+                now = engine.now
+                seq = engine._seq
+                engine._seq = seq + 1
+                t = now + slice_ns
+                # Pooled carrier is safe here: the handle in compute_event
+                # is dropped at the top of _advance (the completion
+                # callback) before any other engine work can reuse it.
+                pool = engine._pool
+                if pool:
+                    ev = pool.pop()
+                    ev.time = t
+                    ev.seq = seq
+                    ev.fn = self._advance
+                    ev.args = (core, thread)
+                    ev.alive = True
+                else:
+                    ev = Event(t, seq, self._advance, (core, thread))
+                    ev._pooled = True
+                ev._engine = engine
+                engine._live += 1
+                heappush(engine._heap, (t, seq, ev))
+                thread.compute_event = (ev, now, slice_ns)
+                return
         self._exec(core, thread, instr)
 
     def _should_preempt(self, core: CoreState, thread: SimThread) -> bool:
         """Preempt when a higher-priority thread waits, or — once the timer
         has requested rotation by setting ``preempt_pending`` — when a
         same-priority thread waits (FIFO requeueing makes this fair)."""
-        return any(
-            t.state is TState.READY and int(t.prio) <= int(thread.prio)
-            for t in core.run_queue
-        )
+        ready = TState.READY
+        prio = thread.prio
+        for t in core.run_queue:
+            if t.state is ready and t.prio <= prio:
+                return True
+        return False
 
     def _preempt(self, core: CoreState, thread: SimThread) -> None:
         core.preempt_pending = False
@@ -472,7 +574,7 @@ class Scheduler:
         self._rr_seq += 1
         core.run_queue.append(thread)
         core.current = None
-        self.engine.call_soon(self._dispatch, core.id)
+        self.engine.post_soon(self._dispatch, core.id)
 
     def _cancel_spin(self, core: CoreState, thread: SimThread) -> None:
         """Preempt a busy-spinning thread (timer/priority): deregister its
@@ -493,15 +595,30 @@ class Scheduler:
 
     def _resume_after(self, core: CoreState, thread: SimThread, cost: int) -> None:
         """Finish the current instruction ``cost`` ns from now."""
-        self._charge(core, thread, cost)
-        if cost:
-            self.engine.schedule(cost, self._advance, core.id, thread)
+        thread.cpu_ns += cost
+        core.busy_ns += cost
+        engine = self.engine
+        if type(cost) is not int or cost < 0:
+            # rare non-int costs: the engine's coercing/validating path
+            engine.post(cost, self._advance, core, thread)
+            return
+        # engine.post inlined (second-hottest event source after Compute)
+        t = engine.now + cost
+        seq = engine._seq
+        engine._seq = seq + 1
+        pool = engine._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = t
+            ev.seq = seq
+            ev.fn = self._advance
+            ev.args = (core, thread)
+            ev.alive = True
         else:
-            self.engine.call_soon(self._advance, core.id, thread)
-
-    def _compute_done(self, core_id: int, thread: SimThread) -> None:
-        thread.compute_event = None
-        self._advance(core_id, thread)
+            ev = Event(t, seq, self._advance, (core, thread))
+            ev._pooled = True
+        engine._live += 1
+        heappush(engine._heap, (t, seq, ev))
 
     def interrupt_compute(self, core_id: int) -> bool:
         """Interrupt the current thread's in-flight Compute slice (the
@@ -536,9 +653,10 @@ class Scheduler:
 
     def _finish(self, core: CoreState, thread: SimThread) -> None:
         thread.state = TState.DONE
-        self.tracer.emit(
-            self.engine.now, "sched", f"core{core.id}", f"finish {thread.name}"
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "sched", f"core{core.id}", f"finish {thread.name}"
+            )
         if thread.is_hook:
             core.hook_live = False
         if thread.prio == Prio.NORMAL:
@@ -563,6 +681,116 @@ class Scheduler:
 
     # -- per-instruction handlers ----------------------------------------
     def _exec(self, core: CoreState, thread: SimThread, instr: Instr) -> None:
+        # Exact-type dispatch: instruction classes are final in practice,
+        # and ``__class__ is X`` beats an isinstance() chain on the hottest
+        # interpreter path.  Unknown (subclassed) instructions fall through
+        # to the isinstance-based slow path for compatibility.
+        cls = instr.__class__
+        if cls is Compute:
+            ns = instr.ns
+            quantum = self._quantum_ns
+            slice_ns = ns if ns <= quantum else quantum
+            remaining = ns - slice_ns
+            if remaining > 0:
+                thread.pending_instr = Compute(remaining)
+            thread.cpu_ns += slice_ns
+            core.busy_ns += slice_ns
+            engine = self.engine
+            ev = engine.schedule(slice_ns, self._advance, core, thread)
+            thread.compute_event = (ev, engine.now, slice_ns)
+        elif cls is Acquire:
+            start = self.engine.now
+
+            def granted() -> None:
+                thread.spin_cancel = None
+                if thread.state is _RUNNING and core.current is thread:
+                    engine = self.engine
+                    spun_ns = engine.now - start
+                    thread.cpu_ns += spun_ns
+                    core.busy_ns += spun_ns
+                    # engine.post_soon inlined (one grant per acquisition)
+                    seq = engine._seq
+                    engine._seq = seq + 1
+                    t = engine.now
+                    pool = engine._pool
+                    if pool:
+                        ev = pool.pop()
+                        ev.time = t
+                        ev.seq = seq
+                        ev.fn = self._advance
+                        ev.args = (core, thread)
+                        ev.alive = True
+                    else:
+                        ev = Event(t, seq, self._advance, (core, thread))
+                        ev._pooled = True
+                    engine._live += 1
+                    heappush(engine._heap, (t, seq, ev))
+                else:  # pragma: no cover - defensive; cancel prevents this
+                    raise RuntimeError(
+                        f"lock {instr.lock.name!r} granted to descheduled "
+                        f"thread {thread.name!r}"
+                    )
+
+            waiter = instr.lock.acquire(core.id, granted)
+            if waiter is not None:
+                lock = instr.lock
+                thread.spin_cancel = (lambda: lock.cancel_waiter(waiter), instr)
+        elif cls is Release:
+            cost = instr.lock.release(core.id)
+            self._resume_after(core, thread, cost)
+        elif cls is SetFlag:
+            cost = instr.flag.set(core.id)
+            self._resume_after(core, thread, cost)
+        elif cls is Sleep:
+            thread.sleep_event = self.engine.schedule(instr.ns, self._sleep_wake, thread)
+            self._block(core, thread, f"sleep:{instr.ns}")
+        elif cls is YieldCPU:
+            thread.state = TState.READY
+            thread.rq_seq = self._rr_seq
+            self._rr_seq += 1
+            core.run_queue.append(thread)
+            core.current = None
+            core.preempt_pending = False
+            self.engine.post_soon(self._dispatch, core.id)
+        elif cls is SpinOn:
+            cost = instr.flag.read(core.id)
+            if instr.flag.is_set:
+                self._resume_after(core, thread, cost)
+            else:
+                start = self.engine.now
+
+                def spun() -> None:
+                    thread.spin_cancel = None
+                    if thread.state is _RUNNING and core.current is thread:
+                        self._charge(core, thread, self.engine.now - start)
+                        self.engine.post_soon(self._advance, core, thread)
+                    else:  # pragma: no cover - defensive
+                        raise RuntimeError(
+                            f"flag {instr.flag.name!r} woke a descheduled "
+                            f"spinner {thread.name!r}"
+                        )
+
+                entry = instr.flag.add_spinner(core.id, spun)
+                flag = instr.flag
+                thread.spin_cancel = (lambda: flag.remove_spinner(entry), instr)
+        elif cls is BlockOn:
+            cost = instr.flag.read(core.id)
+            if instr.flag.is_set:
+                self._resume_after(core, thread, cost)
+            else:
+                self._charge(core, thread, cost)
+                instr.flag.add_blocker(thread)
+                self._block(core, thread, f"flag:{instr.flag.name}")
+        elif cls is Park:
+            if thread is not core.idle_thread:
+                raise RuntimeError("only the idle thread may Park")
+            self._block(core, thread, "parked")
+        else:
+            self._exec_slow(core, thread, instr)
+
+    def _exec_slow(self, core: CoreState, thread: SimThread, instr: Instr) -> None:
+        """isinstance-based dispatch for the rarer instructions (and any
+        subclassed ones the exact-type fast path above cannot match)."""
         if isinstance(instr, Compute):
             quantum = self.machine.spec.timer_quantum_ns
             slice_ns = min(instr.ns, quantum)
@@ -570,16 +798,16 @@ class Scheduler:
             if remaining > 0:
                 thread.pending_instr = Compute(remaining)
             self._charge(core, thread, slice_ns)
-            ev = self.engine.schedule(slice_ns, self._compute_done, core.id, thread)
+            ev = self.engine.schedule(slice_ns, self._advance, core, thread)
             thread.compute_event = (ev, self.engine.now, slice_ns)
         elif isinstance(instr, Acquire):
             start = self.engine.now
 
             def granted() -> None:
                 thread.spin_cancel = None
-                if thread.state is TState.RUNNING and core.current is thread:
+                if thread.state is _RUNNING and core.current is thread:
                     self._charge(core, thread, self.engine.now - start)
-                    self.engine.call_soon(self._advance, core.id, thread)
+                    self.engine.post_soon(self._advance, core, thread)
                 else:  # pragma: no cover - defensive; cancel prevents this
                     raise RuntimeError(
                         f"lock {instr.lock.name!r} granted to descheduled "
@@ -635,9 +863,9 @@ class Scheduler:
 
                 def spun() -> None:
                     thread.spin_cancel = None
-                    if thread.state is TState.RUNNING and core.current is thread:
+                    if thread.state is _RUNNING and core.current is thread:
                         self._charge(core, thread, self.engine.now - start)
-                        self.engine.call_soon(self._advance, core.id, thread)
+                        self.engine.post_soon(self._advance, core, thread)
                     else:  # pragma: no cover - defensive
                         raise RuntimeError(
                             f"flag {instr.flag.name!r} woke a descheduled "
@@ -660,7 +888,7 @@ class Scheduler:
             core.run_queue.append(thread)
             core.current = None
             core.preempt_pending = False
-            self.engine.call_soon(self._dispatch, core.id)
+            self.engine.post_soon(self._dispatch, core.id)
         elif isinstance(instr, Park):
             if thread is not core.idle_thread:
                 raise RuntimeError("only the idle thread may Park")

@@ -177,6 +177,13 @@ class Machine:
             [self.spec.inval(self._common_level(a, b)) for b in range(self.ncores)]
             for a in range(self.ncores)
         ]
+        #: elementwise max of transfer and invalidation latency — the
+        #: earliest a write by ``a`` becomes observable on ``b`` (doorbell
+        #: notice time); precomputed because every ring consults it
+        self._notice = [
+            [max(x, i) for x, i in zip(xrow, irow)]
+            for xrow, irow in zip(self._xfer, self._inval)
+        ]
         #: every topology node, outermost first (useful to build queues)
         self.nodes: list[TopoNode] = list(root.iter_subtree())
 
@@ -211,9 +218,25 @@ class Machine:
         """Uncontended cache-line transfer cost between two cores (ns)."""
         return self._xfer[src_core][dst_core]
 
+    def xfer_row(self, src_core: int) -> list[int]:
+        """One row of the transfer matrix: costs from ``src_core`` to every
+        core.  Hot scans (idle-core search, lock handoff arbitration) bind
+        this once instead of paying two indexing calls per candidate."""
+        return self._xfer[src_core]
+
     def inval(self, src_core: int, dst_core: int) -> int:
         """Invalidation-propagation latency between two cores (ns)."""
         return self._inval[src_core][dst_core]
+
+    def inval_row(self, src_core: int) -> list[int]:
+        """One row of the invalidation matrix (hot-path row binding)."""
+        return self._inval[src_core]
+
+    def notice(self, src_core: int, dst_core: int) -> int:
+        """When a store by ``src_core`` becomes observable on ``dst_core``:
+        ``max(xfer, inval)`` — a probe cannot see the write before the
+        invalidation reaches it, nor before the line itself can."""
+        return self._notice[src_core][dst_core]
 
     def common_level(self, a: int, b: int) -> Level:
         """Deepest topology level shared by two cores."""

@@ -1,0 +1,69 @@
+"""The host-performance harness: deterministic fingerprints, JSON output,
+and the regression gate used by CI's perf-smoke job."""
+
+import json
+
+import pytest
+
+from repro.bench.hostperf import (
+    check_regression,
+    report_to_jsonable,
+    run_host_perf,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_host_perf(quick=True, seed=7)
+
+
+def test_quick_matrix_shape(quick_report):
+    names = [s.name for s in quick_report.scenarios]
+    assert names == [
+        "micro_local",
+        "micro_global",
+        "latency_mt",
+        "scal_numa32",
+        "cluster_ring",
+    ]
+    assert quick_report.total_events > 0
+    assert quick_report.aggregate_events_per_sec > 0
+
+
+def test_virtual_outcomes_are_deterministic(quick_report):
+    """Same seed -> same simulated work; only wall-clock may differ."""
+    again = run_host_perf(quick=True, seed=7)
+    for a, b in zip(quick_report.scenarios, again.scenarios):
+        assert a.name == b.name
+        assert a.events == b.events, f"{a.name}: event fingerprint changed"
+        assert a.virtual_ns == b.virtual_ns, f"{a.name}: virtual time changed"
+
+
+def test_report_round_trips_through_json(quick_report, tmp_path):
+    doc = report_to_jsonable(quick_report, quick=True, seed=7)
+    path = tmp_path / "perf.json"
+    path.write_text(json.dumps(doc))
+    loaded = json.loads(path.read_text())
+    assert loaded["meta"]["quick"] is True
+    assert loaded["aggregate"]["events"] == quick_report.total_events
+    assert len(loaded["scenarios"]) == len(quick_report.scenarios)
+
+
+def test_regression_gate_passes_against_itself(quick_report, tmp_path):
+    baseline = report_to_jsonable(quick_report, quick=True, seed=7)
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(baseline))
+    failures = check_regression(quick_report, str(path), max_regression=2.0)
+    assert failures == []
+
+
+def test_regression_gate_fails_on_large_slowdown(quick_report, tmp_path):
+    baseline = report_to_jsonable(quick_report, quick=True, seed=7)
+    # pretend the committed numbers were 10x faster than what we measured
+    for s in baseline["scenarios"]:
+        s["events_per_sec"] *= 10
+    baseline["aggregate"]["events_per_sec"] *= 10
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(baseline))
+    failures = check_regression(quick_report, str(path), max_regression=2.0)
+    assert failures, "a 10x slowdown must trip the 2x gate"
