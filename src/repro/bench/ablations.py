@@ -87,3 +87,146 @@ def run_affinity_burst(
         lock_contended=agg.contended,
         executions_by_core=dict(pioman.stats.executions_by_core),
     )
+
+
+# ----------------------------------------------------------------------
+# the four-ablation suite (CLI target + make_experiments), job-friendly
+# ----------------------------------------------------------------------
+def _queue_factory(queue: str) -> Callable:
+    """Resolve a queue variant by name (names pickle; classes needn't)."""
+    from repro.core.queues import AlwaysLockTaskQueue
+    from repro.core.variants import LockFreeTaskQueue, MutexTaskQueue
+
+    factories = {
+        "spin": TaskQueue,
+        "mutex": MutexTaskQueue,
+        "always": AlwaysLockTaskQueue,
+        "lockfree": LockFreeTaskQueue,
+    }
+    try:
+        return factories[queue]
+    except KeyError:
+        raise ValueError(
+            f"unknown queue variant {queue!r} (one of {sorted(factories)})"
+        ) from None
+
+
+def burst_leg(
+    *,
+    machine: str = "kwak",
+    hierarchical: bool = True,
+    queue: str = "spin",
+    bursts: int = 60,
+    seed: int = 5,
+    label: str = "",
+) -> BurstResult:
+    """One :func:`run_affinity_burst` leg, addressable as a job target."""
+    from repro.topology.builder import MACHINES
+
+    return run_affinity_burst(
+        MACHINES[machine](),
+        hierarchical=hierarchical,
+        queue_factory=_queue_factory(queue),
+        bursts=bursts,
+        seed=seed,
+        label=label,
+    )
+
+
+def queue_leg(
+    *,
+    machine: str = "kwak",
+    queue: str = "spin",
+    reps: int = 200,
+    seed: int = 9,
+    label: str = "",
+):
+    """One global-queue ``measure_queue`` leg, addressable as a job target."""
+    from repro.bench.task_microbench import measure_queue
+    from repro.topology.builder import MACHINES
+
+    m = MACHINES[machine]()
+    return measure_queue(
+        m, m.all_cores(), label=label or queue, reps=reps, seed=seed,
+        queue_factory=_queue_factory(queue),
+    )
+
+
+@dataclass
+class AblationSuite:
+    """All eight legs of the A1-A4 ablation matrix on kwak."""
+
+    a1_hier: BurstResult = None
+    a1_flat: BurstResult = None
+    a2_spin: BurstResult = None
+    a2_mutex: BurstResult = None
+    a3_checked: object = None
+    a3_always: object = None
+    a4_locked: object = None
+    a4_lockfree: object = None
+
+    def format(self) -> str:
+        us = 1000.0
+        lines = [
+            "Ablations (kwak): affinity burst + global-queue round-trip",
+            f"A1 hierarchy    hierarchical {self.a1_hier.mean_burst_ns / us:>8.1f} us"
+            f"   flat {self.a1_flat.mean_burst_ns / us:>8.1f} us"
+            f"   ({self.a1_flat.mean_burst_ns / self.a1_hier.mean_burst_ns:.2f}x)",
+            f"A2 lock kind    spinlock     {self.a2_spin.mean_burst_ns / us:>8.1f} us"
+            f"   mutex {self.a2_mutex.mean_burst_ns / us:>7.1f} us"
+            f"   ({self.a2_mutex.mean_burst_ns / self.a2_spin.mean_burst_ns:.2f}x)",
+            f"A3 double-check double-check {self.a3_checked.mean_ns / us:>8.2f} us"
+            f"   always-lock {self.a3_always.mean_ns / us:>5.2f} us"
+            f"   ({self.a3_always.mean_ns / self.a3_checked.mean_ns:.2f}x)",
+            f"A4 lock-free    spinlock     {self.a4_locked.mean_ns / us:>8.2f} us"
+            f"   CAS {self.a4_lockfree.mean_ns / us:>13.2f} us"
+            f"   ({self.a4_locked.mean_ns / self.a4_lockfree.mean_ns:.2f}x better)",
+        ]
+        return "\n".join(lines)
+
+
+#: the eight ablation legs: (field, target, kwargs) — seeds fixed to the
+#: values EXPERIMENTS.md has always used, so the suite reproduces it
+_SUITE_LEGS = (
+    ("a1_hier", "burst_leg", {"hierarchical": True}),
+    ("a1_flat", "burst_leg", {"hierarchical": False}),
+    ("a2_spin", "burst_leg", {"hierarchical": False, "label": "spin"}),
+    ("a2_mutex", "burst_leg", {"hierarchical": False, "queue": "mutex", "label": "mutex"}),
+    ("a3_checked", "queue_leg", {"queue": "spin", "seed": 9}),
+    ("a3_always", "queue_leg", {"queue": "always", "seed": 9}),
+    ("a4_locked", "queue_leg", {"queue": "spin", "seed": 13}),
+    ("a4_lockfree", "queue_leg", {"queue": "lockfree", "seed": 13}),
+)
+
+
+def run_ablation_suite(
+    *,
+    bursts: int = 60,
+    reps: int = 200,
+    jobs: int = 1,
+    timeout_s: float | None = None,
+) -> AblationSuite:
+    """Run all eight ablation legs, optionally fanned out over workers.
+
+    Every leg is an independent seeded simulation, so leg-level fan-out
+    merges back (by field name) bit-identical to the serial loop.
+    """
+    from repro.par import JobSpec, run_jobs_strict
+
+    specs = []
+    for fname, fn, extra in _SUITE_LEGS:
+        kwargs: dict = dict(extra)
+        if fn == "burst_leg":
+            kwargs.setdefault("bursts", bursts)
+        else:
+            kwargs.setdefault("reps", reps)
+        specs.append(
+            JobSpec(
+                name=fname, target=f"repro.bench.ablations:{fn}", kwargs=kwargs
+            )
+        )
+    values = run_jobs_strict(specs, jobs=jobs, timeout_s=timeout_s)
+    suite = AblationSuite()
+    for (fname, _, _), value in zip(_SUITE_LEGS, values):
+        setattr(suite, fname, value)
+    return suite

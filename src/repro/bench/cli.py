@@ -8,47 +8,41 @@ Usage::
     python -m repro.bench fig5 --points 9
     python -m repro.bench fig6 fig7
     python -m repro.bench all --json results.json   # machine-readable dump
+    python -m repro.bench all --jobs 4              # multi-process fan-out
     python -m repro.bench scalability bandwidth     # extensions
+    python -m repro.bench ablations                 # design-choice matrix
     python -m repro.bench table1 --metrics-out m.json --trace-out t.json
     python -m repro.bench analyze --trace t.json    # offline trace analysis
     python -m repro.bench analyze --trace t.json --analysis-out a.json
     python -m repro.bench perf                      # host events/sec matrix
     python -m repro.bench perf --quick --baseline BENCH_host_perf.json
+    python -m repro.bench perf --jobs 4 --parallel-report BENCH_parallel.json
 
 (also installed as the ``repro-bench`` console script).
+
+``--jobs N`` fans independent targets out over ``repro.par`` worker
+processes; every simulation is seeded and shared-nothing, so the output
+(tables, JSON, metrics, traces) is bit-identical to a serial run — only
+the wall clock changes.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
 from typing import Any, Optional, Sequence
 
-
-def _to_jsonable(obj: Any) -> Any:
-    """Recursively convert bench result objects to plain JSON data."""
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {k: _to_jsonable(v) for k, v in dataclasses.asdict(obj).items()}
-    if isinstance(obj, dict):
-        return {str(k): _to_jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_to_jsonable(v) for v in obj]
-    return obj
-
-from repro.bench.latency import run_fig4
-from repro.bench.overlap import run_overlap_figure
-from repro.bench.paper_targets import targets_for
-from repro.bench.reporting import format_latency, format_microbench, format_overlap
-from repro.bench.task_microbench import run_task_microbench
-from repro.topology.builder import MACHINES
-
-FIG_PLACEMENTS = {"fig5": "sender", "fig6": "receiver", "fig7": "both"}
-ALL_TARGETS = (
-    "table1", "table2", "fig4", "fig5", "fig6", "fig7",
-    "scalability", "bandwidth",
+from repro.bench.targets import (
+    ALL_TARGETS,
+    INNER_PARALLEL_TARGETS,
+    TargetOutput,
+    to_jsonable,
 )
+from repro.par import JobFailure, JobSpec, run_jobs_strict
+
+#: kept for backwards compatibility — predates the targets extraction
+_to_jsonable = to_jsonable
 
 
 def _ints(text: str) -> list[int]:
@@ -85,6 +79,59 @@ def _analyze_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def _build_specs(
+    targets: Sequence[str], args, observe: bool
+) -> list[JobSpec]:
+    """One spec per requested target, plus the dedicated observed run.
+
+    Spec names are the target names (suffixed only when a target is
+    requested twice); the instrumented run is the *first* table target,
+    matching the old inline loop's attach-once rule.  When a single
+    fan-out-capable target gets the whole ``--jobs`` budget, the budget
+    moves inside it.
+    """
+    inner_jobs = (
+        args.jobs
+        if len(targets) == 1 and targets[0] in INNER_PARALLEL_TARGETS
+        else 1
+    )
+    inst_index = next(
+        (i for i, t in enumerate(targets) if t in ("table1", "table2")), None
+    )
+    specs: list[JobSpec] = []
+    seen: dict[str, int] = {}
+    for i, target in enumerate(targets):
+        n = seen.get(target, 0)
+        seen[target] = n + 1
+        specs.append(
+            JobSpec(
+                name=target if n == 0 else f"{target}[{n}]",
+                target="repro.bench.targets:run_target",
+                kwargs={
+                    "name": target,
+                    "reps": args.reps,
+                    "seed": args.seed,
+                    "threads": list(args.threads),
+                    "points": args.points,
+                    "iters": args.iters,
+                    "observe": observe and i == inst_index,
+                    "jobs": inner_jobs,
+                },
+                timeout_s=args.job_timeout,
+            )
+        )
+    if observe and inst_index is None:
+        specs.append(
+            JobSpec(
+                name="_observed",
+                target="repro.bench.targets:run_dedicated_observed",
+                kwargs={"reps": args.reps, "seed": args.seed},
+                timeout_s=args.job_timeout,
+            )
+        )
+    return specs
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -112,6 +159,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     ap.add_argument("--points", type=int, default=9, help="overlap points per curve")
     ap.add_argument("--iters", type=int, default=4, help="fig4 iterations per thread")
     ap.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent targets out over N worker processes "
+        "(default 1 = in-process serial; results are bit-identical "
+        "either way)",
+    )
+    ap.add_argument(
+        "--job-timeout", type=float, default=None, metavar="S",
+        help="per-target wall-clock limit in seconds when using --jobs",
+    )
+    ap.add_argument(
         "--json", metavar="PATH", default=None,
         help="also dump every regenerated series to PATH as JSON",
     )
@@ -132,98 +189,45 @@ def main(argv: Sequence[str] | None = None) -> int:
     if "all" in targets:
         targets = list(ALL_TARGETS)
 
-    # Observability instrumentation: attach a registry + tracer to the
-    # first microbench table regenerated (or to a dedicated small run when
-    # no table target was requested) and write the artifacts at the end.
-    observe = args.metrics_out or args.trace_out
-    registry = tracer = None
-    instrumented: Optional[str] = None
-    inst_machine = None
-    if observe:
-        from repro.obs import MetricsRegistry
-        from repro.sim.trace import Tracer
+    # Observability instrumentation attaches to the first table target
+    # regenerated (or to a dedicated small run when no table target was
+    # requested); the artifacts are written at the end.
+    observe = bool(args.metrics_out or args.trace_out)
+    specs = _build_specs(targets, args, observe)
+    try:
+        outputs: list[TargetOutput] = run_jobs_strict(
+            specs, jobs=args.jobs, timeout_s=args.job_timeout
+        )
+    except JobFailure as exc:
+        print(f"bench failed: {exc}", file=sys.stderr)
+        return 1
 
-        registry = MetricsRegistry()
-        tracer = Tracer(enabled=True)
+    instrumented: Optional[TargetOutput] = None
+    for out in outputs:
+        if out.instrumented and instrumented is None:
+            instrumented = out
+        if out.target == "_observed":
+            continue
+        print(f"\n{out.header}")
+        print(out.text)
+        collected[out.target] = out.data
 
-    for target in targets:
-        if target in ("table1", "table2"):
-            machine_name = "borderline" if target == "table1" else "kwak"
-            machine = MACHINES[machine_name]()
-            attach = observe and instrumented is None
-            res = run_task_microbench(
-                machine, reps=args.reps, seed=args.seed,
-                registry=registry if attach else None,
-                tracer=tracer if attach else None,
-            )
-            if attach:
-                instrumented = f"{target} global-queue row ({machine_name})"
-                inst_machine = machine
-            print(f"\n=== {target.upper()} ({machine_name}) ===")
-            print(format_microbench(res, paper=targets_for(machine_name)))
-            collected[target] = _to_jsonable(res)
-        elif target == "fig4":
-            print("\n=== FIG 4 (multi-threaded latency) ===")
-            series = run_fig4(
-                thread_counts=args.threads,
-                iters_per_thread=args.iters,
-                seed=args.seed,
-            )
-            print(format_latency(series))
-            collected[target] = _to_jsonable(series)
-        elif target == "scalability":
-            from repro.bench.scalability import run_scalability
-
-            print("\n=== SCALABILITY (extension: global queue vs core count) ===")
-            study = run_scalability(reps=max(60, args.reps // 2), seed=args.seed)
-            print(study.format())
-            collected[target] = _to_jsonable(study)
-        elif target == "bandwidth":
-            from repro.bench.bandwidth import format_bandwidth, run_bandwidth
-
-            print("\n=== BANDWIDTH (extension: OSU-style streaming) ===")
-            bw = run_bandwidth(seed=args.seed)
-            print(format_bandwidth(bw))
-            collected[target] = _to_jsonable(bw)
-        elif target in FIG_PLACEMENTS:
-            placement = FIG_PLACEMENTS[target]
-            print(f"\n=== {target.upper()} (overlap, computation on {placement}) ===")
-            series = run_overlap_figure(
-                placement, npoints=args.points, seed=args.seed
-            )
-            print(format_overlap(series))
-            collected[target] = _to_jsonable(series)
-    if observe:
-        if instrumented is None:
-            # No table target ran: do one small dedicated instrumented run.
-            from repro.bench.task_microbench import measure_queue
-
-            machine = MACHINES["borderline"]()
-            measure_queue(
-                machine,
-                machine.all_cores(),
-                label="global",
-                reps=min(args.reps, 50),
-                seed=args.seed,
-                registry=registry,
-                tracer=tracer,
-            )
-            instrumented = "dedicated global-queue run (borderline)"
-            inst_machine = machine
+    if observe and instrumented is not None:
         if args.metrics_out:
-            snap = registry.snapshot()
+            snap = instrumented.metrics
             with open(args.metrics_out, "w") as fh:
-                json.dump({"meta": {"source": instrumented}, "metrics": snap}, fh, indent=1)
-            print(f"\nwrote {args.metrics_out} ({len(snap)} counters, {instrumented})")
+                json.dump(
+                    {"meta": {"source": instrumented.instrumented}, "metrics": snap},
+                    fh, indent=1,
+                )
+            print(f"\nwrote {args.metrics_out} ({len(snap)} counters, "
+                  f"{instrumented.instrumented})")
         if args.trace_out:
-            from repro.obs import write_chrome_trace
-
-            meta = {"source": instrumented}
-            if inst_machine is not None:
-                meta["machine"] = inst_machine.spec.name
-                meta["ncores"] = inst_machine.ncores
-            nevents = write_chrome_trace(args.trace_out, tracer, meta=meta)
-            print(f"wrote {args.trace_out} ({nevents} trace events, {instrumented})")
+            doc = instrumented.trace
+            with open(args.trace_out, "w") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            print(f"wrote {args.trace_out} ({len(doc['traceEvents'])} trace "
+                  f"events, {instrumented.instrumented})")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(collected, fh, indent=2)

@@ -29,6 +29,7 @@ simulation, not just its speed.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -51,12 +52,19 @@ class ScenarioResult:
 
 @dataclass
 class HostPerfReport:
-    """The full matrix plus the aggregate throughput headline."""
+    """The full matrix plus the aggregate throughput headline.
+
+    ``total_wall_ms`` sums the scenarios' own (in-worker) run times;
+    ``elapsed_wall_ms`` is the end-to-end wall clock of the whole matrix,
+    which is what parallel fan-out (``jobs > 1``) actually shrinks.
+    """
 
     scenarios: list[ScenarioResult] = field(default_factory=list)
     total_events: int = 0
     total_wall_ms: float = 0.0
     aggregate_events_per_sec: float = 0.0
+    jobs: int = 1
+    elapsed_wall_ms: float = 0.0
 
     def finish(self) -> "HostPerfReport":
         self.total_events = sum(s.events for s in self.scenarios)
@@ -286,25 +294,71 @@ def _cluster_ring_scenario(name: str, nnodes: int, iters: int, seed: int) -> Sce
 # ----------------------------------------------------------------------
 # the matrix
 # ----------------------------------------------------------------------
-def run_host_perf(*, quick: bool = False, seed: int = 7) -> HostPerfReport:
-    """Run the fixed workload matrix; ``quick`` shrinks it for CI smoke."""
+def matrix_specs(*, quick: bool = False, seed: int = 7) -> list:
+    """The fixed 5-scenario matrix as :class:`repro.par.JobSpec` jobs.
+
+    Each scenario carries its own derived seed in the spec, so its
+    simulated outcome (the fingerprint) is fixed before any worker runs —
+    identical serially, in parallel, and under any completion order.
+    """
+    from repro.par import JobSpec
+
     scale = 1 if quick else 4
-    report = HostPerfReport()
-    report.scenarios.append(
-        _microbench_scenario("micro_local", "borderline", "local", 150 * scale, seed)
+    mod = "repro.bench.hostperf"
+    return [
+        JobSpec(
+            name="micro_local",
+            target=f"{mod}:_microbench_scenario",
+            kwargs=dict(name="micro_local", machine_name="borderline",
+                        cpuset_kind="local", reps=150 * scale, seed=seed),
+        ),
+        JobSpec(
+            name="micro_global",
+            target=f"{mod}:_microbench_scenario",
+            kwargs=dict(name="micro_global", machine_name="borderline",
+                        cpuset_kind="global", reps=100 * scale, seed=seed + 1),
+        ),
+        JobSpec(
+            name="latency_mt",
+            target=f"{mod}:_latency_scenario",
+            kwargs=dict(name="latency_mt", nthreads=8, iters=2 * scale,
+                        seed=seed + 2),
+        ),
+        JobSpec(
+            name="scal_numa32",
+            target=f"{mod}:_scalability_scenario",
+            kwargs=dict(name="scal_numa32", reps=30 * scale, seed=seed + 3),
+        ),
+        JobSpec(
+            name="cluster_ring",
+            target=f"{mod}:_cluster_ring_scenario",
+            kwargs=dict(name="cluster_ring", nnodes=4, iters=4 * scale,
+                        seed=seed + 4),
+        ),
+    ]
+
+
+def run_host_perf(
+    *,
+    quick: bool = False,
+    seed: int = 7,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+) -> HostPerfReport:
+    """Run the fixed workload matrix; ``quick`` shrinks it for CI smoke.
+
+    ``jobs > 1`` fans the scenarios out over ``repro.par`` worker
+    processes; the fingerprints are bit-identical to serial execution
+    (the equivalence tests assert this), only ``elapsed_wall_ms`` drops.
+    """
+    from repro.par import run_jobs_strict
+
+    t0 = time.perf_counter()
+    results = run_jobs_strict(
+        matrix_specs(quick=quick, seed=seed), jobs=jobs, timeout_s=timeout_s
     )
-    report.scenarios.append(
-        _microbench_scenario("micro_global", "borderline", "global", 100 * scale, seed + 1)
-    )
-    report.scenarios.append(
-        _latency_scenario("latency_mt", nthreads=8, iters=2 * scale, seed=seed + 2)
-    )
-    report.scenarios.append(
-        _scalability_scenario("scal_numa32", reps=30 * scale, seed=seed + 3)
-    )
-    report.scenarios.append(
-        _cluster_ring_scenario("cluster_ring", nnodes=4, iters=4 * scale, seed=seed + 4)
-    )
+    report = HostPerfReport(scenarios=list(results), jobs=max(1, jobs))
+    report.elapsed_wall_ms = (time.perf_counter() - t0) * 1e3
     return report.finish()
 
 
@@ -322,6 +376,11 @@ def format_host_perf(report: HostPerfReport) -> str:
         f"{'AGGREGATE':<14}{report.total_events:>10}{report.total_wall_ms:>10.1f}"
         f"{report.aggregate_events_per_sec:>12.0f}"
     )
+    if report.jobs > 1:
+        lines.append(
+            f"(elapsed {report.elapsed_wall_ms:.1f} ms end-to-end over "
+            f"{report.jobs} worker processes)"
+        )
     return "\n".join(lines)
 
 
@@ -331,11 +390,13 @@ def report_to_jsonable(report: HostPerfReport, *, quick: bool, seed: int) -> dic
             "kind": "host_perf",
             "quick": quick,
             "seed": seed,
+            "jobs": report.jobs,
             "python": sys.version.split()[0],
         },
         "aggregate": {
             "events": report.total_events,
             "wall_ms": round(report.total_wall_ms, 3),
+            "elapsed_wall_ms": round(report.elapsed_wall_ms, 3),
             "events_per_sec": round(report.aggregate_events_per_sec, 1),
         },
         "scenarios": [
@@ -352,6 +413,124 @@ def report_to_jsonable(report: HostPerfReport, *, quick: bool, seed: int) -> dic
     }
 
 
+# ----------------------------------------------------------------------
+# parallel fan-out: serial vs N-worker comparison (BENCH_parallel.json)
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelComparison:
+    """Serial vs ``--jobs N`` for the same matrix: speedup + identity."""
+
+    jobs: int
+    serial: HostPerfReport
+    parallel: HostPerfReport
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def speedup(self) -> float:
+        if not self.parallel.elapsed_wall_ms:
+            return 0.0
+        return self.serial.elapsed_wall_ms / self.parallel.elapsed_wall_ms
+
+
+def compare_fingerprints(a: HostPerfReport, b: HostPerfReport) -> list[str]:
+    """Scenario-by-scenario fingerprint differences (empty = identical)."""
+    mismatches: list[str] = []
+    names_a = [s.name for s in a.scenarios]
+    names_b = [s.name for s in b.scenarios]
+    if names_a != names_b:
+        return [f"scenario sets differ: {names_a} vs {names_b}"]
+    for sa, sb in zip(a.scenarios, b.scenarios):
+        if sa.fingerprint != sb.fingerprint:
+            mismatches.append(
+                f"{sa.name}: fingerprint diverged "
+                f"({sa.fingerprint} vs {sb.fingerprint})"
+            )
+    return mismatches
+
+
+def run_parallel_comparison(
+    *,
+    jobs: int = 4,
+    quick: bool = False,
+    seed: int = 7,
+    timeout_s: Optional[float] = None,
+) -> ParallelComparison:
+    """Run the matrix serially, then with ``jobs`` workers, and compare.
+
+    The virtual outcomes must match exactly — a fingerprint divergence
+    means the fan-out changed the simulation, which would be a bug in the
+    shared-nothing contract, never acceptable noise.  The speedup is
+    whatever the host gives; only identity is gated on.
+    """
+    if jobs < 2:
+        raise ValueError(f"parallel comparison needs jobs >= 2, got {jobs}")
+    serial = run_host_perf(quick=quick, seed=seed, jobs=1)
+    parallel = run_host_perf(quick=quick, seed=seed, jobs=jobs, timeout_s=timeout_s)
+    return ParallelComparison(
+        jobs=jobs,
+        serial=serial,
+        parallel=parallel,
+        mismatches=compare_fingerprints(serial, parallel),
+    )
+
+
+def format_parallel_comparison(cmp: ParallelComparison) -> str:
+    lines = [
+        f"Parallel fan-out: serial vs --jobs {cmp.jobs} "
+        "(same seeds, same virtual outcomes)",
+        f"{'scenario':<14}{'serial ms':>11}{'par ms':>9}{'fingerprint':>13}",
+    ]
+    for ss, ps in zip(cmp.serial.scenarios, cmp.parallel.scenarios):
+        same = ss.fingerprint == ps.fingerprint
+        lines.append(
+            f"{ss.name:<14}{ss.wall_ms:>11.1f}{ps.wall_ms:>9.1f}"
+            f"{'identical' if same else 'DIVERGED':>13}"
+        )
+    lines.append(
+        f"{'ELAPSED':<14}{cmp.serial.elapsed_wall_ms:>11.1f}"
+        f"{cmp.parallel.elapsed_wall_ms:>9.1f}"
+        f"{cmp.speedup:>11.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def parallel_report_to_jsonable(
+    cmp: ParallelComparison, *, quick: bool, seed: int
+) -> dict:
+    return {
+        "meta": {
+            "kind": "host_perf_parallel",
+            "quick": quick,
+            "seed": seed,
+            "jobs": cmp.jobs,
+            # wall-time speedup is bounded by the cores the host grants;
+            # identity of the virtual outcomes is what CI gates on
+            "host_cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "speedup": round(cmp.speedup, 3),
+        "identical": cmp.identical,
+        "mismatches": cmp.mismatches,
+        "serial_elapsed_wall_ms": round(cmp.serial.elapsed_wall_ms, 3),
+        "parallel_elapsed_wall_ms": round(cmp.parallel.elapsed_wall_ms, 3),
+        "scenarios": [
+            {
+                "name": ss.name,
+                "serial_wall_ms": round(ss.wall_ms, 3),
+                "parallel_wall_ms": round(ps.wall_ms, 3),
+                "fingerprint": ss.fingerprint,
+                "fingerprint_identical": ss.fingerprint == ps.fingerprint,
+            }
+            for ss, ps in zip(cmp.serial.scenarios, cmp.parallel.scenarios)
+        ],
+    }
+
+
 def check_regression(
     report: HostPerfReport, baseline_path: str, *, max_regression: float = 2.0
 ) -> list[str]:
@@ -361,6 +540,9 @@ def check_regression(
     when its events/sec dropped by more than ``max_regression``x against
     the committed number — generous on purpose, since CI machines vary;
     the committed file is the trajectory anchor, not a tight SLO.
+    Scenarios with no usable baseline entry are announced and skipped
+    rather than silently ignored, so a renamed scenario can't dodge the
+    gate unnoticed.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -369,6 +551,7 @@ def check_regression(
     for s in report.scenarios:
         ref = by_name.get(s.name)
         if ref is None or not ref.get("events_per_sec"):
+            print(f"{s.name}: no baseline entry, skipped")
             continue
         floor = ref["events_per_sec"] / max_regression
         if s.events_per_sec < floor:
@@ -402,6 +585,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     ap.add_argument("--quick", action="store_true",
                     help="reduced matrix for CI smoke runs")
     ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="run the scenario matrix over N worker processes "
+                    "(default 1 = serial; virtual outcomes are identical "
+                    "either way)")
+    ap.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                    help="per-scenario wall-clock limit in seconds when "
+                    "using --jobs")
+    ap.add_argument("--parallel-report", metavar="PATH", default=None,
+                    help="run the matrix serially AND with --jobs workers, "
+                    "write the speedup/identity comparison to PATH "
+                    "(exits non-zero if the fingerprints diverge)")
     ap.add_argument("--baseline", metavar="PATH", default=None,
                     help="compare against a committed BENCH_host_perf.json "
                     "and exit non-zero on regression")
@@ -409,7 +603,28 @@ def main(argv: Optional[list[str]] = None) -> int:
                     help="events/sec slowdown factor that fails --baseline "
                     "comparison (default 2.0)")
     args = ap.parse_args(argv)
-    report = run_host_perf(quick=args.quick, seed=args.seed)
+    if args.parallel_report:
+        jobs = args.jobs if args.jobs > 1 else 4
+        cmp = run_parallel_comparison(
+            jobs=jobs, quick=args.quick, seed=args.seed,
+            timeout_s=args.job_timeout,
+        )
+        print(format_parallel_comparison(cmp))
+        with open(args.parallel_report, "w") as fh:
+            json.dump(
+                parallel_report_to_jsonable(cmp, quick=args.quick, seed=args.seed),
+                fh, indent=1,
+            )
+        print(f"\nwrote {args.parallel_report}")
+        if not cmp.identical:
+            for m in cmp.mismatches:
+                print(f"PARALLEL DIVERGENCE: {m}", file=sys.stderr)
+            return 1
+        return 0
+    report = run_host_perf(
+        quick=args.quick, seed=args.seed, jobs=args.jobs,
+        timeout_s=args.job_timeout,
+    )
     print(format_host_perf(report))
     if args.out:
         with open(args.out, "w") as fh:

@@ -64,44 +64,63 @@ class ScaleStudy:
         return "\n".join(lines)
 
 
+def scale_point(nnuma: int, per: int, *, reps: int = 100, seed: int = 21) -> ScalePoint:
+    """Measure one machine shape: the local per-core queue, one per-chip
+    queue, the global queue, and the flat (no-hierarchy) organisation
+    serving a core-affine task.  Module-level and argument-pure so it can
+    run as a :class:`repro.par.JobSpec` job."""
+    m = scaled_machine(nnuma, per)
+    local = measure_queue(
+        m, m.core_nodes[0].cpuset, label="core#0", reps=reps, seed=seed
+    )
+    chip_node = next(n for n in m.nodes if n.level == Level.CACHE)
+    chip = measure_queue(
+        m, chip_node.cpuset, label="chip", reps=reps, seed=seed + 1
+    )
+    glob = measure_queue(
+        m, m.all_cores(), label="global", reps=reps, seed=seed + 2
+    )
+    # flat: a core-affine task forced through the single shared list
+    flat = measure_queue(
+        m,
+        m.core_nodes[min(5, m.ncores - 1)].cpuset,
+        label="flat",
+        reps=reps,
+        seed=seed + 3,
+        hierarchical=False,
+    )
+    return ScalePoint(
+        ncores=m.ncores,
+        local_ns=local.mean_ns,
+        chip_ns=chip.mean_ns,
+        global_ns=glob.mean_ns,
+        flat_global_ns=flat.mean_ns,
+    )
+
+
 def run_scalability(
     shapes: Sequence[tuple[int, int]] = ((2, 4), (4, 4), (4, 8), (8, 8)),
     *,
     reps: int = 100,
     seed: int = 21,
+    jobs: int = 1,
+    timeout_s: float | None = None,
 ) -> ScaleStudy:
-    """Sweep machine sizes; each point measures the local per-core queue,
-    one per-chip queue, the global queue, and the flat (no-hierarchy)
-    organisation serving a core-affine task."""
-    study = ScaleStudy()
-    for nnuma, per in shapes:
-        m = scaled_machine(nnuma, per)
-        local = measure_queue(
-            m, m.core_nodes[0].cpuset, label="core#0", reps=reps, seed=seed
+    """Sweep machine sizes via :func:`scale_point`, one point per shape.
+
+    Shapes are independent simulations with spec-carried seeds, so with
+    ``jobs > 1`` they fan out over worker processes and merge back in
+    shape order — bit-identical to the serial sweep.
+    """
+    from repro.par import JobSpec, run_jobs_strict
+
+    specs = [
+        JobSpec(
+            name=f"numa{nnuma}x{per}",
+            target="repro.bench.scalability:scale_point",
+            kwargs={"nnuma": nnuma, "per": per, "reps": reps, "seed": seed},
         )
-        chip_node = next(n for n in m.nodes if n.level == Level.CACHE)
-        chip = measure_queue(
-            m, chip_node.cpuset, label="chip", reps=reps, seed=seed + 1
-        )
-        glob = measure_queue(
-            m, m.all_cores(), label="global", reps=reps, seed=seed + 2
-        )
-        # flat: a core-affine task forced through the single shared list
-        flat = measure_queue(
-            m,
-            m.core_nodes[min(5, m.ncores - 1)].cpuset,
-            label="flat",
-            reps=reps,
-            seed=seed + 3,
-            hierarchical=False,
-        )
-        study.points.append(
-            ScalePoint(
-                ncores=m.ncores,
-                local_ns=local.mean_ns,
-                chip_ns=chip.mean_ns,
-                global_ns=glob.mean_ns,
-                flat_global_ns=flat.mean_ns,
-            )
-        )
-    return study
+        for nnuma, per in shapes
+    ]
+    points = run_jobs_strict(specs, jobs=jobs, timeout_s=timeout_s)
+    return ScaleStudy(points=points)

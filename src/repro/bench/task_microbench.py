@@ -148,6 +148,15 @@ def measure_queue(
     )
 
 
+def run_task_microbench_named(machine: str, **kwargs) -> "MicrobenchResult":
+    """:func:`run_task_microbench` addressed by machine *name* — the
+    picklable form ``repro.par`` job specs use (machine objects stay on
+    the worker side; only the name crosses the process boundary)."""
+    from repro.topology.builder import MACHINES
+
+    return run_task_microbench(MACHINES[machine](), **kwargs)
+
+
 def run_task_microbench(
     machine: Machine,
     *,

@@ -16,6 +16,10 @@ Complementary views of one simulation run:
 * :func:`analyze_trace` / :func:`format_analysis` — offline analysis of a
   live tracer or an exported trace file: per-core utilization, per-level
   submit→run percentiles, lock contention, slowest tasks.
+* :func:`merge_snapshots` / :func:`sum_snapshots` /
+  :func:`merge_trace_docs` — order-independent folding of per-job
+  snapshots and trace documents from ``repro.par`` fan-out runs back
+  into one canonical artifact.
 
 All are wired through the bench CLI (``--metrics-out`` / ``--trace-out`` /
 ``analyze``) so every benchmark run can emit and inspect its internals
@@ -30,6 +34,7 @@ from repro.obs.analyze import (
 )
 from repro.obs.chrometrace import chrome_trace, write_chrome_trace
 from repro.obs.histogram import Histogram
+from repro.obs.merge import merge_snapshots, merge_trace_docs, sum_snapshots
 from repro.obs.registry import MetricsRegistry
 
 __all__ = [
@@ -40,5 +45,8 @@ __all__ = [
     "analyze_trace_file",
     "chrome_trace",
     "format_analysis",
+    "merge_snapshots",
+    "merge_trace_docs",
+    "sum_snapshots",
     "write_chrome_trace",
 ]

@@ -1,0 +1,36 @@
+"""Process-level experiment parallelism — ``repro.par``.
+
+The simulator is deterministic, seeded and shared-nothing: every bench
+scenario builds its own :class:`~repro.sim.engine.Engine`, scheduler and
+machine, so two scenarios never share mutable state.  CPython's GIL makes
+in-process threading useless for this workload (DESIGN.md band-2 note),
+but *process*-level fan-out is free parallelism — the model Dask's
+distributed workers use, applied to a single host.
+
+The contract is **bit-identical to serial**: a job's outcome depends only
+on its spec (target + kwargs, seed included), never on which worker ran
+it, in what order, or how many workers there were.  :func:`run_jobs`
+returns results re-sorted into spec order, so callers see exactly what a
+serial loop would have produced.
+
+* :class:`JobSpec` / :class:`JobResult` — the picklable unit of work and
+  its outcome (value or error, wall time, attempts, worker pid);
+* :func:`derive_seed` — stable per-job seeds from one root seed;
+* :func:`run_jobs` / :func:`run_jobs_strict` — the pool: ``fork``-based
+  workers with per-job timeout, one bounded retry on worker crash, and a
+  clean in-process serial fallback (``jobs<=1`` or no ``fork``).
+"""
+
+from repro.par.jobs import JobFailure, JobResult, JobSpec, derive_seed, resolve_target
+from repro.par.pool import has_fork, run_jobs, run_jobs_strict
+
+__all__ = [
+    "JobFailure",
+    "JobResult",
+    "JobSpec",
+    "derive_seed",
+    "has_fork",
+    "resolve_target",
+    "run_jobs",
+    "run_jobs_strict",
+]

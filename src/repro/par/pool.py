@@ -1,0 +1,248 @@
+"""The process pool: fork-per-job fan-out with deterministic merging.
+
+Design choices, in order of importance:
+
+* **Results merge in spec order.**  Workers finish in whatever order the
+  host's scheduler likes; :func:`run_jobs` always returns ``results[i]``
+  for ``specs[i]``.  Combined with spec-carried seeds this makes the
+  parallel path bit-identical to the serial one.
+* **One process per job, no reuse.**  ``fork`` on Linux makes process
+  startup cheap (the worker inherits the parent's imported modules), and
+  a fresh process per job means a crash or leak in one scenario cannot
+  poison the next — the shared-nothing model taken literally.
+* **Failure is data.**  A job that raises returns an ``ok=False`` result;
+  a *crashed* worker (killed, segfault, ``os._exit``) is retried once —
+  the simulator is deterministic, so an in-band exception will just
+  recur, but a crash may be environmental (OOM killer, signal).
+* **Serial fallback.**  ``jobs <= 1``, a platform without ``fork``
+  (Windows, some macOS configs), or ``force_serial=True`` runs the same
+  specs in-process, in order, through the very same :meth:`JobSpec.run`
+  the workers use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from multiprocessing import connection as mp_connection
+from typing import Optional, Sequence
+
+from repro.par.jobs import JobFailure, JobResult, JobSpec
+
+#: status tokens a worker sends back over its pipe
+_OK, _ERR = "ok", "err"
+
+
+def has_fork() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _worker_entry(spec: JobSpec, conn) -> None:
+    """Worker body: run the job, send ``(status, payload, wall_ms)``.
+
+    Runs inside the forked child.  Every exception — including a result
+    that fails to pickle on the way back — is reported in-band as an
+    ``err`` message; only a genuine crash leaves the pipe empty.
+    """
+    t0 = time.perf_counter()
+    try:
+        value = spec.run()
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        try:
+            conn.send((_OK, value, wall_ms))
+        except Exception as exc:  # unpicklable result: report, don't crash
+            conn.send((_ERR, f"result not picklable: {exc!r}", wall_ms))
+    except BaseException as exc:
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        try:
+            conn.send((_ERR, f"{type(exc).__name__}: {exc}", wall_ms))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _run_serial(specs: Sequence[JobSpec]) -> list[JobResult]:
+    """In-process execution, spec order — the fallback and the oracle."""
+    results: list[JobResult] = []
+    for i, spec in enumerate(specs):
+        t0 = time.perf_counter()
+        try:
+            value = spec.run()
+            results.append(
+                JobResult(
+                    name=spec.name, index=i, ok=True, value=value,
+                    wall_ms=(time.perf_counter() - t0) * 1e3,
+                )
+            )
+        except Exception as exc:
+            results.append(
+                JobResult(
+                    name=spec.name, index=i, ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    wall_ms=(time.perf_counter() - t0) * 1e3,
+                )
+            )
+    return results
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    *,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    crash_retries: int = 1,
+    force_serial: bool = False,
+) -> list[JobResult]:
+    """Run every spec; return :class:`JobResult` objects **in spec order**.
+
+    ``jobs`` is the worker-process cap; ``timeout_s`` the default per-job
+    wall-clock limit (``spec.timeout_s`` overrides per job; ``None`` =
+    unlimited).  A worker that dies without reporting is retried up to
+    ``crash_retries`` times; a job that *raises* is not retried (the
+    simulator is deterministic — it would raise again).
+
+    Falls back to in-process serial execution when ``jobs <= 1``, when
+    there is at most one spec, when the platform lacks ``fork``, or when
+    ``force_serial`` is set.  Both paths execute :meth:`JobSpec.run`, so
+    the fallback is an equivalence, not an approximation.
+    """
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate job names: {names}")
+    if force_serial or jobs <= 1 or len(specs) <= 1 or not has_fork():
+        return _run_serial(specs)
+
+    ctx = multiprocessing.get_context("fork")
+    results: list[Optional[JobResult]] = [None] * len(specs)
+    pending: list[tuple[int, int]] = [(i, 1) for i in range(len(specs))]
+    pending.reverse()  # pop() from the end -> dispatch in spec order
+    #: conn -> (process, spec index, attempt, absolute deadline or None)
+    running: dict = {}
+
+    def launch(index: int, attempt: int) -> None:
+        spec = specs[index]
+        recv_end, send_end = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_entry, args=(spec, send_end),
+            name=f"repro-par-{spec.name}", daemon=True,
+        )
+        proc.start()
+        send_end.close()  # parent keeps only the read end
+        limit = spec.timeout_s if spec.timeout_s is not None else timeout_s
+        deadline = time.monotonic() + limit if limit is not None else None
+        running[recv_end] = (proc, index, attempt, deadline)
+
+    def finish(conn, proc, index: int, attempt: int, result: JobResult) -> None:
+        results[index] = result
+        try:
+            conn.close()
+        except Exception:
+            pass
+        proc.join()
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                index, attempt = pending.pop()
+                launch(index, attempt)
+            now = time.monotonic()
+            deadlines = [d for (_, _, _, d) in running.values() if d is not None]
+            wait_s = max(0.0, min(deadlines) - now) if deadlines else None
+            ready = mp_connection.wait(list(running), timeout=wait_s)
+            for conn in ready:
+                proc, index, attempt, _ = running.pop(conn)
+                spec = specs[index]
+                try:
+                    status, payload, wall_ms = conn.recv()
+                except (EOFError, OSError):
+                    # pipe closed with nothing in it: the worker crashed
+                    proc.join()
+                    try:
+                        conn.close()
+                    except Exception:
+                        pass
+                    if attempt <= crash_retries:
+                        pending.append((index, attempt + 1))
+                    else:
+                        results[index] = JobResult(
+                            name=spec.name, index=index, ok=False,
+                            error=f"worker crashed (exit {proc.exitcode}), "
+                            f"{attempt} attempt(s)",
+                            attempts=attempt, pid=proc.pid, parallel=True,
+                        )
+                    continue
+                finish(
+                    conn, proc, index, attempt,
+                    JobResult(
+                        name=spec.name, index=index, ok=status == _OK,
+                        value=payload if status == _OK else None,
+                        error=None if status == _OK else payload,
+                        wall_ms=wall_ms, attempts=attempt,
+                        pid=proc.pid, parallel=True,
+                    ),
+                )
+            if not ready:
+                # the wait timed out: reap every job past its deadline
+                now = time.monotonic()
+                for conn, (proc, index, attempt, deadline) in list(running.items()):
+                    if deadline is None or now < deadline:
+                        continue
+                    running.pop(conn)
+                    spec = specs[index]
+                    limit = (
+                        spec.timeout_s if spec.timeout_s is not None else timeout_s
+                    )
+                    proc.terminate()
+                    proc.join()
+                    try:
+                        conn.close()
+                    except Exception:
+                        pass
+                    results[index] = JobResult(
+                        name=spec.name, index=index, ok=False,
+                        error=f"timed out after {limit:g}s",
+                        attempts=attempt, pid=proc.pid, parallel=True,
+                    )
+    finally:
+        # belt-and-braces: never leak workers on an unexpected error
+        for conn, (proc, _, _, _) in running.items():
+            proc.terminate()
+            proc.join()
+            try:
+                conn.close()
+            except Exception:
+                pass
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def run_jobs_strict(
+    specs: Sequence[JobSpec],
+    *,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    crash_retries: int = 1,
+    force_serial: bool = False,
+) -> list:
+    """Like :func:`run_jobs` but returns bare values, raising
+    :class:`JobFailure` (listing every failed job) if any job failed."""
+    results = run_jobs(
+        specs, jobs=jobs, timeout_s=timeout_s,
+        crash_retries=crash_retries, force_serial=force_serial,
+    )
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise JobFailure(failures)
+    return [r.value for r in results]
+
+
+def _job_pid(_: object = None) -> int:
+    """Tiny importable job target: the executing process id (used by the
+    fallback / fan-out tests to prove where a job actually ran)."""
+    return os.getpid()

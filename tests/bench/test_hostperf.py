@@ -7,8 +7,11 @@ import pytest
 
 from repro.bench.hostperf import (
     check_regression,
+    matrix_specs,
+    parallel_report_to_jsonable,
     report_to_jsonable,
     run_host_perf,
+    run_parallel_comparison,
 )
 
 
@@ -67,3 +70,48 @@ def test_regression_gate_fails_on_large_slowdown(quick_report, tmp_path):
     path.write_text(json.dumps(baseline))
     failures = check_regression(quick_report, str(path), max_regression=2.0)
     assert failures, "a 10x slowdown must trip the 2x gate"
+
+
+def test_regression_gate_announces_missing_baseline_entries(
+    quick_report, tmp_path, capsys
+):
+    """A scenario absent from the baseline is skipped *loudly*."""
+    baseline = report_to_jsonable(quick_report, quick=True, seed=7)
+    baseline["scenarios"] = [
+        s for s in baseline["scenarios"] if s["name"] != "latency_mt"
+    ]
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(baseline))
+    failures = check_regression(quick_report, str(path), max_regression=2.0)
+    out = capsys.readouterr().out
+    assert failures == []
+    assert "latency_mt: no baseline entry, skipped" in out
+    # scenarios with a baseline entry are still compared silently
+    assert "micro_local: no baseline entry" not in out
+
+
+def test_matrix_specs_carry_seeds_and_names():
+    specs = matrix_specs(quick=True, seed=7)
+    assert [s.name for s in specs] == [
+        "micro_local", "micro_global", "latency_mt",
+        "scal_numa32", "cluster_ring",
+    ]
+    # the seed lives in the spec, fixed before any worker runs
+    assert [s.kwargs["seed"] for s in specs] == [7, 8, 9, 10, 11]
+
+
+def test_parallel_comparison_requires_two_workers():
+    with pytest.raises(ValueError, match="jobs >= 2"):
+        run_parallel_comparison(jobs=1, quick=True)
+
+
+def test_parallel_comparison_is_identical_and_serializes(tmp_path):
+    cmp = run_parallel_comparison(jobs=2, quick=True, seed=7)
+    assert cmp.identical, cmp.mismatches
+    doc = parallel_report_to_jsonable(cmp, quick=True, seed=7)
+    assert doc["identical"] is True
+    assert doc["meta"]["jobs"] == 2
+    assert all(s["fingerprint_identical"] for s in doc["scenarios"])
+    path = tmp_path / "parallel.json"
+    path.write_text(json.dumps(doc))
+    assert json.loads(path.read_text())["mismatches"] == []

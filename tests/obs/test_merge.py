@@ -1,0 +1,95 @@
+"""Order-independent merging of per-job snapshots and trace documents."""
+
+import random
+
+import pytest
+
+from repro.obs import merge_snapshots, merge_trace_docs, sum_snapshots
+
+
+def _doc(events, **other):
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"recorded": len(events), "dropped": 0, **other},
+    }
+
+
+def test_merge_snapshots_namespaces_and_sorts():
+    merged = merge_snapshots(
+        [
+            ("jobB", {"pioman.submits": 4, "engine.fired": 10}),
+            ("jobA", {"pioman.submits": 7}),
+        ]
+    )
+    assert merged == {
+        "jobA.pioman.submits": 7,
+        "jobB.engine.fired": 10,
+        "jobB.pioman.submits": 4,
+    }
+    assert list(merged) == sorted(merged)
+
+
+def test_merge_snapshots_is_order_independent():
+    shards = [(f"job{i}", {"x.count": i, "y.ns": i * 10}) for i in range(6)]
+    reference = merge_snapshots(shards)
+    rng = random.Random(3)
+    for _ in range(5):
+        shuffled = shards[:]
+        rng.shuffle(shuffled)
+        assert merge_snapshots(shuffled) == reference
+
+
+def test_merge_snapshots_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="duplicate"):
+        merge_snapshots([("a", {}), ("a", {})])
+
+
+def test_sum_snapshots_adds_pathwise_missing_as_zero():
+    total = sum_snapshots(
+        [
+            {"q.enqueued": 3, "q.dequeued": 2},
+            {"q.enqueued": 5, "lock.acquires": 1},
+        ]
+    )
+    assert total == {"lock.acquires": 1, "q.dequeued": 2, "q.enqueued": 8}
+
+
+def test_sum_snapshots_is_order_independent():
+    shards = [{"a": i, "b": 2 * i} for i in range(5)]
+    assert sum_snapshots(shards) == sum_snapshots(list(reversed(shards)))
+
+
+def test_merge_trace_docs_remaps_pids_and_sorts_events():
+    doc_a = _doc(
+        [
+            {"name": "t1", "ph": "X", "ts": 5.0, "pid": 0, "tid": 1},
+            {"name": "t2", "ph": "X", "ts": 1.0, "pid": 0, "tid": 2},
+        ],
+        machine="borderline",
+    )
+    doc_b = _doc([{"name": "u1", "ph": "X", "ts": 3.0, "pid": 0, "tid": 1}])
+    merged = merge_trace_docs([("beta", doc_b), ("alpha", doc_a)])
+    # jobs keyed in name-sorted order: alpha -> pid 0, beta -> pid 1
+    assert merged["otherData"]["jobs"]["alpha"]["pid"] == 0
+    assert merged["otherData"]["jobs"]["alpha"]["machine"] == "borderline"
+    assert merged["otherData"]["jobs"]["beta"]["pid"] == 1
+    assert merged["otherData"]["recorded"] == 3
+    assert [e["ts"] for e in merged["traceEvents"]] == [1.0, 3.0, 5.0]
+    assert [e["pid"] for e in merged["traceEvents"]] == [0, 1, 0]
+
+
+def test_merge_trace_docs_is_order_independent():
+    docs = [
+        (f"job{i}", _doc([{"name": f"e{i}", "ph": "X", "ts": float(i), "pid": 0, "tid": 0}]))
+        for i in range(4)
+    ]
+    reference = merge_trace_docs(docs)
+    shuffled = docs[:]
+    random.Random(7).shuffle(shuffled)
+    assert merge_trace_docs(shuffled) == reference
+
+
+def test_merge_trace_docs_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="duplicate"):
+        merge_trace_docs([("x", _doc([])), ("x", _doc([]))])

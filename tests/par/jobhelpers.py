@@ -1,0 +1,60 @@
+"""Importable job targets for the repro.par failure-path tests.
+
+Workers resolve targets by dotted path, so everything a test job runs
+must live at module level in an importable module — this one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def echo(value):
+    """The identity job: returns its argument."""
+    return value
+
+
+def add(a, b):
+    return a + b
+
+
+def pid():
+    """The process id the job actually ran in."""
+    return os.getpid()
+
+
+def boom(message="kaboom"):
+    """A job that raises — a deterministic in-band failure."""
+    raise ValueError(message)
+
+
+def sleepy(seconds=60.0):
+    """A job that hangs long enough to trip any sane timeout."""
+    time.sleep(seconds)
+    return "overslept"
+
+
+def crash(exit_code=3):
+    """A job whose worker dies without reporting (simulates a segfault /
+    OOM kill): ``os._exit`` skips all cleanup, so the pipe closes empty."""
+    os._exit(exit_code)
+
+
+def crash_once_then(value, sentinel):
+    """Crash on the first attempt, succeed on the retry.
+
+    ``sentinel`` is a path: absent -> create it and die; present ->
+    return ``value``.  Deterministic across processes because the file
+    system carries the attempt count.
+    """
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("attempt 1\n")
+        os._exit(9)
+    return value
+
+
+def unpicklable():
+    """Returns something pickle rejects (a lambda)."""
+    return lambda x: x

@@ -1,0 +1,117 @@
+"""Serial/parallel equivalence: the core contract of repro.par.
+
+``--jobs N`` must be a pure wall-clock optimization — same scenario
+fingerprints, same merged metrics, same report text as serial execution,
+for any worker count and any completion order.
+"""
+
+import json
+import re
+import time
+
+import pytest
+
+from repro.bench.ablations import run_ablation_suite
+from repro.bench.cli import main as bench_main
+from repro.bench.hostperf import compare_fingerprints, run_host_perf
+from repro.bench.scalability import run_scalability
+from repro.bench.targets import to_jsonable
+from repro.par import JobSpec, has_fork, run_jobs
+
+pytestmark = pytest.mark.skipif(not has_fork(), reason="platform lacks fork")
+
+#: process-global debug ids (task/request/frame "#17") differ between a
+#: serial run and a forked worker without reflecting simulation state —
+#: the golden determinism test normalizes them the same way
+_GLOBAL_ID = re.compile(r"#\d+")
+
+
+# ----------------------------------------------------------------------
+# perf matrix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jobs", [2, 3])
+def test_perf_matrix_fingerprints_identical_across_worker_counts(jobs):
+    serial = run_host_perf(quick=True, seed=7, jobs=1)
+    parallel = run_host_perf(quick=True, seed=7, jobs=jobs)
+    assert compare_fingerprints(serial, parallel) == []
+    for s, p in zip(serial.scenarios, parallel.scenarios):
+        assert s.name == p.name
+        assert s.events == p.events
+        assert s.virtual_ns == p.virtual_ns
+        assert s.fingerprint == p.fingerprint
+
+
+def test_perf_matrix_out_of_order_completion_merges_canonically():
+    """Fast jobs finishing before slow ones must not reorder results."""
+    specs = [
+        JobSpec("slow", "tests.par.jobhelpers:sleepy", {"seconds": 0.25}),
+        JobSpec("fast1", "tests.par.jobhelpers:echo", {"value": "a"}),
+        JobSpec("fast2", "tests.par.jobhelpers:echo", {"value": "b"}),
+    ]
+    t0 = time.perf_counter()
+    results = run_jobs(specs, jobs=3)
+    assert time.perf_counter() - t0 < 5.0
+    assert [r.name for r in results] == ["slow", "fast1", "fast2"]
+    assert [r.value for r in results] == ["overslept", "a", "b"]
+
+
+# ----------------------------------------------------------------------
+# bench CLI surface
+# ----------------------------------------------------------------------
+def _run_cli(argv, tmp_path, capsys, tag):
+    json_out = tmp_path / f"{tag}.json"
+    metrics_out = tmp_path / f"{tag}_metrics.json"
+    trace_out = tmp_path / f"{tag}_trace.json"
+    rc = bench_main(
+        argv
+        + [
+            "--json", str(json_out),
+            "--metrics-out", str(metrics_out),
+            "--trace-out", str(trace_out),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    # the artifact paths differ by construction; strip those lines
+    report = "\n".join(
+        line for line in out.splitlines() if not line.startswith("wrote ")
+        and "wrote " not in line
+    )
+    return (
+        report,
+        json.loads(json_out.read_text()),
+        json.loads(metrics_out.read_text())["metrics"],
+        _GLOBAL_ID.sub("#", trace_out.read_text()),
+    )
+
+
+def test_cli_jobs2_report_json_metrics_and_trace_match_serial(tmp_path, capsys):
+    argv = ["table1", "fig5", "--reps", "8", "--points", "2"]
+    ser_report, ser_json, ser_metrics, ser_trace = _run_cli(
+        argv, tmp_path, capsys, "serial"
+    )
+    par_report, par_json, par_metrics, par_trace = _run_cli(
+        argv + ["--jobs", "2"], tmp_path, capsys, "par"
+    )
+    assert par_report == ser_report
+    assert par_json == ser_json
+    assert par_metrics == ser_metrics
+    assert par_trace == ser_trace
+
+
+# ----------------------------------------------------------------------
+# leg-level fan-out: ablations and the scalability sweep
+# ----------------------------------------------------------------------
+def test_ablation_suite_parallel_identical_to_serial():
+    serial = run_ablation_suite(bursts=12, reps=25, jobs=1)
+    parallel = run_ablation_suite(bursts=12, reps=25, jobs=2)
+    assert to_jsonable(serial) == to_jsonable(parallel)
+    assert serial.format() == parallel.format()
+
+
+def test_scalability_sweep_parallel_identical_to_serial():
+    shapes = ((2, 2), (2, 4))
+    serial = run_scalability(shapes, reps=20, seed=21, jobs=1)
+    parallel = run_scalability(shapes, reps=20, seed=21, jobs=2)
+    assert to_jsonable(serial) == to_jsonable(parallel)
+    assert serial.format() == parallel.format()

@@ -1,0 +1,177 @@
+"""repro.par pool semantics: ordering, fallback, and every failure path
+(timeout, crash + bounded retry, in-band exception, unpicklable result)."""
+
+import os
+
+import pytest
+
+from repro.par import (
+    JobFailure,
+    JobSpec,
+    derive_seed,
+    has_fork,
+    resolve_target,
+    run_jobs,
+    run_jobs_strict,
+)
+
+HELPERS = "tests.par.jobhelpers"
+
+needs_fork = pytest.mark.skipif(not has_fork(), reason="platform lacks fork")
+
+
+def _echo_specs(n):
+    return [
+        JobSpec(f"echo{i}", f"{HELPERS}:echo", {"value": i}) for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# spec plumbing
+# ----------------------------------------------------------------------
+def test_derive_seed_is_stable_and_key_sensitive():
+    assert derive_seed(7, "a") == derive_seed(7, "a")
+    assert derive_seed(7, "a") != derive_seed(7, "b")
+    assert derive_seed(7, "a") != derive_seed(8, "a")
+    assert 0 <= derive_seed(7, "a") < 2**32
+
+
+def test_resolve_target_validates():
+    assert resolve_target(f"{HELPERS}:echo")(value=3) == 3
+    with pytest.raises(ValueError, match="module:callable"):
+        resolve_target("no-colon")
+    with pytest.raises(ValueError, match="no attribute"):
+        resolve_target(f"{HELPERS}:nonexistent")
+
+
+def test_duplicate_job_names_rejected():
+    specs = [
+        JobSpec("same", f"{HELPERS}:echo", {"value": 1}),
+        JobSpec("same", f"{HELPERS}:echo", {"value": 2}),
+    ]
+    with pytest.raises(ValueError, match="duplicate"):
+        run_jobs(specs, jobs=2)
+
+
+# ----------------------------------------------------------------------
+# ordering and fallback
+# ----------------------------------------------------------------------
+@needs_fork
+def test_results_come_back_in_spec_order():
+    results = run_jobs(_echo_specs(8), jobs=4)
+    assert [r.value for r in results] == list(range(8))
+    assert [r.index for r in results] == list(range(8))
+    assert all(r.ok and r.parallel for r in results)
+
+
+@needs_fork
+def test_parallel_runs_use_distinct_worker_processes():
+    specs = [JobSpec(f"pid{i}", f"{HELPERS}:pid", {}) for i in range(4)]
+    results = run_jobs(specs, jobs=4)
+    pids = {r.value for r in results}
+    assert os.getpid() not in pids
+    assert len(pids) == 4  # one fresh process per job, no reuse
+
+
+def test_jobs_1_falls_back_to_in_process_serial():
+    results = run_jobs(
+        [JobSpec("p", f"{HELPERS}:pid", {})] + _echo_specs(2), jobs=1
+    )
+    assert results[0].value == os.getpid()
+    assert [r.value for r in results[1:]] == [0, 1]
+    assert all(not r.parallel and r.pid is None for r in results)
+
+
+def test_force_serial_overrides_parallel_request():
+    specs = [JobSpec(f"pid{i}", f"{HELPERS}:pid", {}) for i in range(3)]
+    results = run_jobs(specs, jobs=3, force_serial=True)
+    assert {r.value for r in results} == {os.getpid()}
+    assert all(not r.parallel for r in results)
+
+
+def test_single_spec_runs_in_process():
+    (result,) = run_jobs([JobSpec("one", f"{HELPERS}:add", {"a": 2, "b": 3})], jobs=8)
+    assert result.ok and result.value == 5 and not result.parallel
+
+
+# ----------------------------------------------------------------------
+# failure paths
+# ----------------------------------------------------------------------
+@needs_fork
+def test_worker_timeout_is_reported_and_others_survive():
+    specs = [
+        JobSpec("fast", f"{HELPERS}:echo", {"value": "ok"}),
+        JobSpec("hung", f"{HELPERS}:sleepy", {"seconds": 60}, timeout_s=0.3),
+    ]
+    results = run_jobs(specs, jobs=2, timeout_s=30)
+    assert results[0].ok and results[0].value == "ok"
+    assert not results[1].ok
+    assert "timed out after 0.3s" in results[1].error
+
+
+@needs_fork
+def test_worker_crash_is_retried_once_then_succeeds(tmp_path):
+    sentinel = tmp_path / "attempt.marker"
+    specs = [
+        JobSpec(
+            "flaky",
+            f"{HELPERS}:crash_once_then",
+            {"value": "recovered", "sentinel": str(sentinel)},
+        )
+    ] + _echo_specs(1)
+    results = run_jobs(specs, jobs=2)
+    assert results[0].ok
+    assert results[0].value == "recovered"
+    assert results[0].attempts == 2
+    assert sentinel.exists()
+
+
+@needs_fork
+def test_worker_crash_beyond_retry_budget_fails():
+    specs = [JobSpec("dead", f"{HELPERS}:crash", {"exit_code": 5})] + _echo_specs(1)
+    results = run_jobs(specs, jobs=2, crash_retries=1)
+    assert not results[0].ok
+    assert "crashed" in results[0].error
+    assert results[0].attempts == 2
+    assert results[1].ok  # the healthy job is unaffected
+
+
+@needs_fork
+def test_exception_in_job_is_not_retried():
+    specs = [JobSpec("raises", f"{HELPERS}:boom", {"message": "nope"})] + _echo_specs(1)
+    results = run_jobs(specs, jobs=2)
+    assert not results[0].ok
+    assert "ValueError: nope" in results[0].error
+    assert results[0].attempts == 1
+
+
+def test_exception_in_serial_fallback_is_captured_not_raised():
+    specs = [JobSpec("raises", f"{HELPERS}:boom", {})] + _echo_specs(1)
+    results = run_jobs(specs, jobs=1)
+    assert not results[0].ok and "ValueError" in results[0].error
+    assert results[1].ok
+
+
+@needs_fork
+def test_unpicklable_result_reported_in_band():
+    specs = [JobSpec("bad", f"{HELPERS}:unpicklable", {})] + _echo_specs(1)
+    results = run_jobs(specs, jobs=2)
+    assert not results[0].ok
+    assert "not picklable" in results[0].error
+
+
+def test_run_jobs_strict_raises_with_every_failure_listed():
+    specs = [
+        JobSpec("ok", f"{HELPERS}:echo", {"value": 1}),
+        JobSpec("bad1", f"{HELPERS}:boom", {"message": "first"}),
+        JobSpec("bad2", f"{HELPERS}:boom", {"message": "second"}),
+    ]
+    with pytest.raises(JobFailure) as exc_info:
+        run_jobs_strict(specs, jobs=1)
+    message = str(exc_info.value)
+    assert "bad1" in message and "bad2" in message
+    assert len(exc_info.value.failures) == 2
+
+
+def test_run_jobs_strict_returns_bare_values():
+    assert run_jobs_strict(_echo_specs(3), jobs=1) == [0, 1, 2]
