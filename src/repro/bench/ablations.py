@@ -3,7 +3,9 @@
 * A1 — hierarchical queues vs one flat global list (§III motivation);
 * A2 — spinlocks vs blocking mutexes on the queues (§IV-A);
 * A3 — Algorithm 2's double-checked locking vs always-lock;
-* A4 — lock-free (CAS) queues, the paper's future work (§VI).
+* A4 — lock-free (CAS) queues, the paper's future work (§VI);
+* A5 — fixed-period idle re-polling vs :class:`repro.core.variants.
+  IdleBackoff` (exponential stretch after consecutive empty passes).
 
 The shared workload is an *affinity burst*: core #0 submits one task per
 remote core back-to-back, then waits for all of them — the pattern a
@@ -89,8 +91,88 @@ def run_affinity_burst(
     )
 
 
+@dataclass
+class BackoffResult:
+    """One A5 leg: idle-pass volume vs task wakeup latency."""
+
+    label: str
+    idle_passes: int
+    executions: int
+    mean_wakeup_ns: float
+    max_wakeup_ns: int
+
+
+def backoff_leg(
+    *,
+    machine: str = "kwak",
+    backoff: bool = False,
+    factor: int = 2,
+    free_passes: int = 2,
+    max_ns: int = 64_000,
+    ntasks: int = 40,
+    gap_us: int = 30,
+    seed: int = 11,
+    label: str = "",
+) -> BackoffResult:
+    """One idle-backoff leg: sparse submissions into a spin-polling machine.
+
+    Core #0 submits one single-core task every ``gap_us`` while every
+    other core spin-polls; between submissions each pass comes up empty.
+    The leg reports how many idle passes the run burned and what the
+    submit→complete wakeup latency looked like — the two sides of the
+    backoff trade.  (Doorbells cancel a stretched sleep and reset the
+    streak, so with doorbell delivery the latency cost stays small; the
+    policy's risk is work that arrives without one.)
+    """
+    from repro.core.variants import IdleBackoff
+    from repro.threads.scheduler import Keypoint
+    from repro.topology.builder import MACHINES
+
+    m = MACHINES[machine]()
+    engine = Engine()
+    policy = (
+        IdleBackoff(factor=factor, free_passes=free_passes, max_ns=max_ns)
+        if backoff
+        else None
+    )
+    sched = Scheduler(m, engine, rng=Rng(seed), true_spin=True, idle_backoff=policy)
+    pioman = PIOMan(m, engine, sched)
+    gap = gap_us * 1_000
+
+    def submitter(ctx):
+        from repro.threads.instructions import Compute
+
+        tasks = []
+        for i in range(ntasks):
+            yield Compute(gap)
+            task = LTask(
+                None, cpuset=CpuSet.single(1 + i % (m.ncores - 1)), name=f"bk{i}"
+            )
+            yield from pioman.submit(0, task)
+            tasks.append(task)
+        for task in tasks:
+            yield from piom_wait(pioman, 0, task, mode="spin")
+
+    sched.spawn(submitter, 0, name="backoff-driver")
+    engine.run(until=ntasks * (gap + 2_000_000))
+    if pioman.stats.tasks_completed < ntasks:
+        raise RuntimeError(
+            f"backoff leg stalled at {pioman.stats.tasks_completed}/{ntasks}"
+        )
+    lat = pioman.latency.submit_to_complete
+    return BackoffResult(
+        label=label or ("backoff" if backoff else "fixed"),
+        idle_passes=sum(
+            c.keypoint_counts.get(Keypoint.IDLE, 0) for c in sched.cores
+        ),
+        executions=pioman.stats.executions,
+        mean_wakeup_ns=lat.mean(),
+        max_wakeup_ns=lat.max,
+    )
+
+
 # ----------------------------------------------------------------------
-# the four-ablation suite (CLI target + make_experiments), job-friendly
+# the five-ablation suite (CLI target + make_experiments), job-friendly
 # ----------------------------------------------------------------------
 def _queue_factory(queue: str) -> Callable:
     """Resolve a queue variant by name (names pickle; classes needn't)."""
@@ -154,7 +236,7 @@ def queue_leg(
 
 @dataclass
 class AblationSuite:
-    """All eight legs of the A1-A4 ablation matrix on kwak."""
+    """All ten legs of the A1-A5 ablation matrix on kwak."""
 
     a1_hier: BurstResult = None
     a1_flat: BurstResult = None
@@ -164,6 +246,8 @@ class AblationSuite:
     a3_always: object = None
     a4_locked: object = None
     a4_lockfree: object = None
+    a5_fixed: BackoffResult = None
+    a5_backoff: BackoffResult = None
 
     def format(self) -> str:
         us = 1000.0
@@ -181,11 +265,16 @@ class AblationSuite:
             f"A4 lock-free    spinlock     {self.a4_locked.mean_ns / us:>8.2f} us"
             f"   CAS {self.a4_lockfree.mean_ns / us:>13.2f} us"
             f"   ({self.a4_locked.mean_ns / self.a4_lockfree.mean_ns:.2f}x better)",
+            f"A5 idle backoff fixed {self.a5_fixed.idle_passes:>10} passes"
+            f"   backoff {self.a5_backoff.idle_passes:>7} passes"
+            f"   ({self.a5_fixed.idle_passes / max(1, self.a5_backoff.idle_passes):.2f}x"
+            f" fewer; wakeup {self.a5_fixed.mean_wakeup_ns / us:.2f}"
+            f" -> {self.a5_backoff.mean_wakeup_ns / us:.2f} us)",
         ]
         return "\n".join(lines)
 
 
-#: the eight ablation legs: (field, target, kwargs) — seeds fixed to the
+#: the ten ablation legs: (field, target, kwargs) — seeds fixed to the
 #: values EXPERIMENTS.md has always used, so the suite reproduces it
 _SUITE_LEGS = (
     ("a1_hier", "burst_leg", {"hierarchical": True}),
@@ -196,6 +285,8 @@ _SUITE_LEGS = (
     ("a3_always", "queue_leg", {"queue": "always", "seed": 9}),
     ("a4_locked", "queue_leg", {"queue": "spin", "seed": 13}),
     ("a4_lockfree", "queue_leg", {"queue": "lockfree", "seed": 13}),
+    ("a5_fixed", "backoff_leg", {"backoff": False, "seed": 11}),
+    ("a5_backoff", "backoff_leg", {"backoff": True, "seed": 11}),
 )
 
 
@@ -206,7 +297,7 @@ def run_ablation_suite(
     jobs: int = 1,
     timeout_s: float | None = None,
 ) -> AblationSuite:
-    """Run all eight ablation legs, optionally fanned out over workers.
+    """Run all ten ablation legs, optionally fanned out over workers.
 
     Every leg is an independent seeded simulation, so leg-level fan-out
     merges back (by field name) bit-identical to the serial loop.
@@ -218,7 +309,7 @@ def run_ablation_suite(
         kwargs: dict = dict(extra)
         if fn == "burst_leg":
             kwargs.setdefault("bursts", bursts)
-        else:
+        elif fn == "queue_leg":
             kwargs.setdefault("reps", reps)
         specs.append(
             JobSpec(

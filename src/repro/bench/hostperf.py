@@ -17,7 +17,11 @@ The matrix deliberately spans the simulator's distinct hot paths:
 * ``scal_numa32`` — one rung of the scalability sweep on a 32-core NUMA
   machine (wide hierarchies, long scan paths);
 * ``cluster_ring`` — a 4-node ring exchange (fabric + multi-node
-  scheduling).
+  scheduling);
+* ``idle_spin`` / ``idle_spin_nosummary`` — an idle-heavy spin-polling
+  steady state on a deep chiplet machine, run with the occupancy-summary
+  fast path on and off: the pair's ev/s ratio is the fast path's measured
+  speedup, and their virtual outcomes must be identical.
 
 Each scenario also returns a **fingerprint** of the simulated outcome
 (final virtual time, events fired, key scheduler counters).  The
@@ -291,11 +295,91 @@ def _cluster_ring_scenario(name: str, nnodes: int, iters: int, seed: int) -> Sce
     )
 
 
+def _idle_spin_scenario(
+    name: str,
+    duration_us: int,
+    gap_us: int,
+    seed: int,
+    fastpath: bool = True,
+    best_of: int = 3,
+) -> ScenarioResult:
+    """Idle-heavy spin-polling on a deep chiplet machine (24 cores).
+
+    One driver core submits a small single-core task every ``gap_us``
+    while the other 23 cores spin-poll an almost-always-empty hierarchy —
+    the steady-state shape of a communication library between messages,
+    and the workload the occupancy-summary fast path exists for.  Run
+    with ``fastpath=False`` it measures the same simulation with the
+    summary disabled; the two entries' ev/s ratio is the fast path's
+    speedup and their fingerprints (minus ``summary_hits``) must match
+    exactly — determinism is part of the contract.
+
+    ``best_of`` re-runs the identical workload in fresh engines and keeps
+    the fastest wall time: idle passes are microsecond-scale, so a single
+    run is at the mercy of host scheduling noise.
+    """
+    from repro.core.manager import PIOMan
+    from repro.core.task import LTask
+    from repro.sim.rng import Rng
+    from repro.threads.scheduler import Scheduler
+    from repro.topology.builder import ccx_machine
+    from repro.topology.cpuset import CpuSet
+    from repro.threads.instructions import Compute
+
+    duration = duration_us * 1_000
+    gap = gap_us * 1_000
+    best: Optional[tuple] = None
+    for _ in range(max(1, best_of)):
+        machine = ccx_machine()
+        engine = Engine()
+        sched = Scheduler(machine, engine, rng=Rng(seed), true_spin=True)
+        pioman = PIOMan(machine, engine, sched, summary_fastpath=fastpath)
+        ncores = machine.ncores
+
+        def driver(ctx):
+            i = 0
+            while engine.now < duration:
+                yield Compute(gap)
+                task = LTask(
+                    None,
+                    cpuset=CpuSet.single(1 + (5 * i + 3) % (ncores - 1)),
+                    name=f"idle{i}",
+                )
+                yield from pioman.submit(0, task)
+                i += 1
+
+        def run() -> None:
+            sched.spawn(driver, 0, name="idle-driver")
+            engine.run(until=duration)
+
+        events, wall_ms, virtual_ns = _timed(engine, run)
+        if pioman.stats.tasks_completed == 0:
+            raise RuntimeError(f"{name}: no task ever completed")
+        if best is None or wall_ms < best[1]:
+            best = (events, wall_ms, virtual_ns, pioman)
+    events, wall_ms, virtual_ns, pioman = best
+    return ScenarioResult(
+        name=name,
+        events=events,
+        wall_ms=wall_ms,
+        events_per_sec=events / (wall_ms / 1e3) if wall_ms else 0.0,
+        virtual_ns=virtual_ns,
+        fingerprint={
+            "fired": events,
+            "virtual_ns": virtual_ns,
+            "submits": pioman.stats.submits,
+            "executions": pioman.stats.executions,
+            "schedule_passes": pioman.stats.schedule_passes,
+            "summary_hits": pioman.hierarchy.summary_stats.summary_hits,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # the matrix
 # ----------------------------------------------------------------------
 def matrix_specs(*, quick: bool = False, seed: int = 7) -> list:
-    """The fixed 5-scenario matrix as :class:`repro.par.JobSpec` jobs.
+    """The fixed 7-scenario matrix as :class:`repro.par.JobSpec` jobs.
 
     Each scenario carries its own derived seed in the spec, so its
     simulated outcome (the fingerprint) is fixed before any worker runs —
@@ -335,6 +419,24 @@ def matrix_specs(*, quick: bool = False, seed: int = 7) -> list:
             kwargs=dict(name="cluster_ring", nnodes=4, iters=4 * scale,
                         seed=seed + 4),
         ),
+        # idle_spin / idle_spin_nosummary share a seed on purpose: they run
+        # the SAME simulation with the occupancy-summary fast path on/off,
+        # so their ev/s ratio is the fast path's measured speedup and their
+        # fingerprints (minus summary_hits) must be identical.
+        JobSpec(
+            name="idle_spin",
+            target=f"{mod}:_idle_spin_scenario",
+            kwargs=dict(name="idle_spin", duration_us=75 * scale, gap_us=20,
+                        seed=seed + 5, fastpath=True,
+                        best_of=1 if quick else 5),
+        ),
+        JobSpec(
+            name="idle_spin_nosummary",
+            target=f"{mod}:_idle_spin_scenario",
+            kwargs=dict(name="idle_spin_nosummary", duration_us=75 * scale,
+                        gap_us=20, seed=seed + 5, fastpath=False,
+                        best_of=1 if quick else 5),
+        ),
     ]
 
 
@@ -365,17 +467,27 @@ def run_host_perf(
 def format_host_perf(report: HostPerfReport) -> str:
     lines = [
         "Host performance (simulator events per wall-clock second)",
-        f"{'scenario':<14}{'events':>10}{'wall ms':>10}{'events/s':>12}{'virtual ms':>12}",
+        f"{'scenario':<20}{'events':>10}{'wall ms':>10}{'events/s':>12}{'virtual ms':>12}",
     ]
     for s in report.scenarios:
         lines.append(
-            f"{s.name:<14}{s.events:>10}{s.wall_ms:>10.1f}"
+            f"{s.name:<20}{s.events:>10}{s.wall_ms:>10.1f}"
             f"{s.events_per_sec:>12.0f}{s.virtual_ns / 1e6:>12.2f}"
         )
     lines.append(
-        f"{'AGGREGATE':<14}{report.total_events:>10}{report.total_wall_ms:>10.1f}"
+        f"{'AGGREGATE':<20}{report.total_events:>10}{report.total_wall_ms:>10.1f}"
         f"{report.aggregate_events_per_sec:>12.0f}"
     )
+    try:
+        on = report.scenario("idle_spin")
+        off = report.scenario("idle_spin_nosummary")
+        if off.events_per_sec:
+            lines.append(
+                "occupancy-summary fast path: "
+                f"{on.events_per_sec / off.events_per_sec:.2f}x on idle_spin"
+            )
+    except KeyError:
+        pass
     if report.jobs > 1:
         lines.append(
             f"(elapsed {report.elapsed_wall_ms:.1f} ms end-to-end over "
@@ -482,16 +594,16 @@ def format_parallel_comparison(cmp: ParallelComparison) -> str:
     lines = [
         f"Parallel fan-out: serial vs --jobs {cmp.jobs} "
         "(same seeds, same virtual outcomes)",
-        f"{'scenario':<14}{'serial ms':>11}{'par ms':>9}{'fingerprint':>13}",
+        f"{'scenario':<20}{'serial ms':>11}{'par ms':>9}{'fingerprint':>13}",
     ]
     for ss, ps in zip(cmp.serial.scenarios, cmp.parallel.scenarios):
         same = ss.fingerprint == ps.fingerprint
         lines.append(
-            f"{ss.name:<14}{ss.wall_ms:>11.1f}{ps.wall_ms:>9.1f}"
+            f"{ss.name:<20}{ss.wall_ms:>11.1f}{ps.wall_ms:>9.1f}"
             f"{'identical' if same else 'DIVERGED':>13}"
         )
     lines.append(
-        f"{'ELAPSED':<14}{cmp.serial.elapsed_wall_ms:>11.1f}"
+        f"{'ELAPSED':<20}{cmp.serial.elapsed_wall_ms:>11.1f}"
         f"{cmp.parallel.elapsed_wall_ms:>9.1f}"
         f"{cmp.speedup:>11.2f}x"
     )

@@ -40,6 +40,7 @@ class Node:
         hierarchical: bool = True,
         queue_factory: Callable = TaskQueue,
         registry=None,
+        summary_fastpath: bool = True,
     ) -> None:
         self.id = node_id
         self.machine = machine
@@ -57,6 +58,7 @@ class Node:
             tracer=tracer,
             name=f"pioman@{node_id}",
             registry=registry,
+            summary_fastpath=summary_fastpath,
         )
         self.nics: list[Nic] = [
             fabric.new_nic(node_id, drv, index=i) for i, drv in enumerate(drivers)
@@ -91,6 +93,7 @@ class Cluster:
         hierarchical: bool = True,
         queue_factory: Callable = TaskQueue,
         registry=None,
+        summary_fastpath: bool = True,
     ) -> None:
         if nnodes < 1:
             raise ValueError("need at least one node")
@@ -111,6 +114,7 @@ class Cluster:
                 hierarchical=hierarchical,
                 queue_factory=queue_factory,
                 registry=registry,
+                summary_fastpath=summary_fastpath,
             )
             for i in range(nnodes)
         ]

@@ -18,16 +18,36 @@ Two lookups dominate and are precomputed:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.queues import TaskQueue
-from repro.topology.cpuset import CpuSet
+from repro.topology.cpuset import CpuSet, iter_bits
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
     from repro.topology.machine import Machine, TopoNode
 
 QueueFactory = Callable[..., TaskQueue]
+
+
+@dataclass
+class SummaryStats:
+    """Occupancy-summary fast-path counters (registry: ``<name>.summary``).
+
+    * ``summary_hits`` — Algorithm-1 passes answered by the O(1) primed
+      fast path: no queue was probed, the batched cost was replayed.
+    * ``summary_misses`` — passes that walked the scan path because the
+      summary showed work (``summary & mask != 0``).
+    * ``stale_bits`` — passes that walked the scan path even though the
+      summary was clear: the core was not primed yet, typically because a
+      recent transition's stale-visibility window had to be re-observed
+      before the emptiness is provably settled for this core.
+    """
+
+    summary_hits: int = 0
+    summary_misses: int = 0
+    stale_bits: int = 0
 
 
 class QueueHierarchy:
@@ -76,6 +96,32 @@ class QueueHierarchy:
         #: routes, and real workloads reuse a handful of CPU sets (single
         #: cores, cache/chip spans, the full machine) over and over
         self._route_cache: dict[int, TaskQueue] = {}
+        #: (cpuset-mask, from_core) -> cores ordered nearest-first; the
+        #: find_idle_core memo (topology distances are immutable)
+        self._candidate_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        # --- occupancy summary -----------------------------------------
+        #: one bit per queue, set iff that queue is *actually* non-empty;
+        #: maintained by the queues on every empty<->non-empty transition
+        self.summary = 0
+        #: one bit per core, set iff the core's whole scan path is proven
+        #: settled-empty (summary clear *and* every stale window expired),
+        #: so its next Algorithm-1 pass may replay the batched probe cost
+        #: without walking the path; any write to a covered queue clears it
+        self.primed_mask = 0
+        self.summary_stats = SummaryStats()
+        #: bit index -> queue, for walking ``summary & mask`` set bits
+        self.bit_queues: tuple[TaskQueue, ...] = tuple(self.by_node.values())
+        for bit, queue in enumerate(self.bit_queues):
+            # a queue's writes un-prime exactly the cores that scan it,
+            # i.e. the cores its node spans
+            queue.attach_summary(self, 1 << bit, ~queue.node.cpuset.mask)
+        #: per-core OR of the scan path's queue bits (Algorithm 1's mask)
+        self.scan_masks: list[int] = []
+        for path in self._scan_paths:
+            mask = 0
+            for queue in path:
+                mask |= queue._bitmask
+            self.scan_masks.append(mask)
 
     # ------------------------------------------------------------------
     def queue_for_cpuset(self, cpuset: CpuSet) -> TaskQueue:
@@ -95,6 +141,36 @@ class QueueHierarchy:
     def scan_path(self, core: int) -> list[TaskQueue]:
         """Algorithm 1 order for a core (local queue ... global queue)."""
         return self._scan_paths[core]
+
+    def candidate_order(self, cpuset: CpuSet, from_core: int) -> tuple[int, ...]:
+        """Cores of ``cpuset`` on this machine, nearest to ``from_core``
+        first (ties by core id) — the §IV-B idle-core search order.
+
+        Memoized per (mask, origin): distances are immutable and the CPU
+        sets in flight repeat, so ``find_idle_core`` walks a precomputed
+        tuple instead of re-deriving the order per submission.
+        """
+        key = (cpuset.mask, from_core)
+        order = self._candidate_cache.get(key)
+        if order is None:
+            ncores = self.machine.ncores
+            xfer_row = self.machine.xfer_row(from_core)
+            order = tuple(
+                sorted(
+                    (c for c in cpuset if c < ncores),
+                    key=lambda c: (xfer_row[c], c),
+                )
+            )
+            self._candidate_cache[key] = order
+        return order
+
+    def hot_queues(self, core: int) -> list[TaskQueue]:
+        """Queues on ``core``'s scan path whose summary bit is set, in bit
+        order — the "iterate only the set bits" view of the occupancy
+        summary (diagnostics/tests; Algorithm 1 itself keeps the paper's
+        local-to-global order)."""
+        bq = self.bit_queues
+        return [bq[b] for b in iter_bits(self.summary & self.scan_masks[core])]
 
     def queues(self) -> list[TaskQueue]:
         return list(self.by_node.values())

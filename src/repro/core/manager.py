@@ -92,6 +92,7 @@ class PIOMan:
         tracer: Tracer = NULL_TRACER,
         name: str = "pioman",
         registry: Optional["MetricsRegistry"] = None,
+        summary_fastpath: bool = True,
     ) -> None:
         self.machine = machine
         self.engine = engine
@@ -112,6 +113,40 @@ class PIOMan:
         # The hierarchy's per-core scan paths are fixed after construction;
         # index them directly instead of a method call per Algorithm-1 pass.
         self._scan_paths = self.hierarchy._scan_paths
+        # Occupancy-summary fast path (see schedule_once): per-core tables
+        # precomputed so the primed empty pass touches no queue objects.
+        # _fast_pairs replays the probe counters of a settled-empty path
+        # ((queue stats, line stats) per level), _fast_compute is the
+        # reusable batched-cost instruction (instructions are read-only to
+        # the interpreter, like the idle loop's pooled instances), and
+        # _scan_entries carries the per-queue replay tuple for the dequeue
+        # loop: (queue, bit, queue stats, line, line stats, replayable).
+        self.summary_fastpath = bool(summary_fastpath)
+        local_ns = machine.spec.local_ns
+        self._local_ns = local_ns
+        self._xfer_m = machine._xfer
+        self._scan_masks = self.hierarchy.scan_masks
+        self._fast_pairs = []
+        self._fast_compute = []
+        self._scan_entries = []
+        for path in self._scan_paths:
+            self._fast_pairs.append(
+                [(q.stats, q.state_line.stats) for q in path]
+            )
+            self._fast_compute.append(Compute(len(path) * local_ns))
+            self._scan_entries.append(
+                [
+                    (
+                        q,
+                        q._bitmask,
+                        q.stats,
+                        q.state_line,
+                        q.state_line.stats,
+                        type(q).replayable_empty_scan,
+                    )
+                    for q in path
+                ]
+            )
         # Locks report contended handoffs onto the same trace stream, so
         # the analyzer can line contention intervals up with task slices.
         for queue in self.hierarchy.queues():
@@ -120,10 +155,14 @@ class PIOMan:
             registry.register(name, self.stats)
             registry.register(f"{name}.shares", self.execution_shares)
             registry.register(f"{name}.latency", self.latency)
+            registry.register(f"{name}.summary", self.hierarchy.summary_stats)
             for queue in self.hierarchy.queues():
                 queue.register_into(registry, prefix=name)
         if scheduler is not None:
             scheduler.progression_hook = self.schedule_once
+            if self.summary_fastpath:
+                scheduler.progression_fast = self.fast_pass
+                scheduler.progression_fast_done = self._rec_pass_empty
 
     # ------------------------------------------------------------------
     # task construction & submission
@@ -226,31 +265,46 @@ class PIOMan:
         "the state of each core is evaluated in order to find an idle core
         that could process the task ... the nearest idle core is specified
         in the CPU set".  Returns None when every allowed core is busy.
+
+        The nearest-first candidate order is a per-(cpuset, origin) memo
+        on the hierarchy — only the idleness check runs per call.
         """
         if self.scheduler is None:
             return None
         cores = self.scheduler.cores
-        ncores = len(cores)
-        xfer_row = self.machine.xfer_row(from_core)
-        best: Optional[int] = None
-        best_d = None
-        for c in cpuset:
-            if c >= ncores:
-                continue
+        for c in self.hierarchy.candidate_order(cpuset, from_core):
             state = cores[c]
             cur = state.current
-            is_idle = cur is None or cur is state.idle_thread
-            if not is_idle and cur is not None and cur.prio == Prio.IDLE:
-                is_idle = True
-            if is_idle:
-                d = xfer_row[c]
-                if best is None or d < best_d:
-                    best, best_d = c, d
-        return best
+            if cur is None or cur is state.idle_thread or cur.prio == Prio.IDLE:
+                return c
+        return None
 
     # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
+    def fast_pass(self, core: int) -> Optional[Instr]:
+        """O(1) empty-pass accessory for the idle loop (plain call, no
+        generator).  When ``core`` is primed — its whole scan path proven
+        settled-empty and unwritten since — do the pass's host accounting
+        (pass/summary counters, the per-level probe replay) and return the
+        batched Compute the caller must yield; the caller then reports the
+        realized span via ``progression_fast_done``.  Returns None when
+        the core is not primed, sending the caller to
+        :meth:`schedule_once`.  Together the two paths are observationally
+        identical to the slow scan: same virtual cost, same counters, same
+        single-instruction stream.
+        """
+        hier = self.hierarchy
+        if not hier.primed_mask >> core & 1:
+            return None
+        self.stats.schedule_passes += 1
+        hier.summary_stats.summary_hits += 1
+        for qstats, lstats in self._fast_pairs[core]:
+            lstats.reads += 1
+            lstats.read_hits += 1
+            qstats.empty_checks += 1
+        return self._fast_compute[core]
+
     def schedule_once(self, core: int) -> Generator[Instr, Any, tuple[int, int, bool]]:
         """One full Algorithm-1 pass on ``core``.
 
@@ -265,6 +319,17 @@ class PIOMan:
         how many of them reported "not complete" and were re-enqueued, and
         whether the pass locked a visibly non-empty queue only to find it
         drained (lost a dequeue race to another core).
+
+        The occupancy-summary fast path (``summary_fastpath``, default on)
+        answers the all-empty pass — the steady state of every idle core —
+        in O(1): once a pass proves the whole path settled-empty (every
+        probe saw empty *and* the summary agrees, so no stale window can
+        be hiding work), the core's bit in ``hierarchy.primed_mask`` is
+        set, and the *next* pass replays the identical batched probe cost
+        and counters without touching a queue.  Any write to a covered
+        queue clears the bit, so the replay is provably what the slow walk
+        would have done — metrics, trace and virtual timeline stay
+        bit-identical with the fast path on or off.
         """
         ran = 0
         repeats = 0
@@ -272,9 +337,31 @@ class PIOMan:
         engine = self.engine
         pass_start = engine.now
         self.stats.schedule_passes += 1
-        # Fast path: probe the whole scan path first and charge one batch
-        # of read costs.  When everything is (visibly) empty — by far the
-        # common case for an idle core — the pass costs a single event.
+        hier = self.hierarchy
+        fast_on = self.summary_fastpath
+        if fast_on:
+            sstats = hier.summary_stats
+            if hier.primed_mask >> core & 1:
+                # O(1) empty pass: the path is settled-empty and nothing
+                # was written since it was proven so.  Replay the slow
+                # walk's exact accounting: each level's probe would be a
+                # local hit on an empty queue (priming guarantees this
+                # core is a sharer of every level's emptiness line).
+                sstats.summary_hits += 1
+                for qstats, lstats in self._fast_pairs[core]:
+                    lstats.reads += 1
+                    lstats.read_hits += 1
+                    qstats.empty_checks += 1
+                yield self._fast_compute[core]
+                self._rec_pass_empty(engine.now - pass_start)
+                return 0, 0, False
+            if hier.summary & self._scan_masks[core]:
+                sstats.summary_misses += 1
+            else:
+                sstats.stale_bits += 1
+        # Batched-probe path: probe the whole scan path first and charge
+        # one batch of read costs.  When everything is (visibly) empty,
+        # the pass costs a single event.
         path = self._scan_paths[core]
         total_cost = 0
         any_hot = False
@@ -283,17 +370,50 @@ class PIOMan:
             total_cost += cost
             if visible:
                 any_hot = True
+        if not any_hot and fast_on and not hier.summary & self._scan_masks[core]:
+            # Every probe observed empty and the summary confirms nothing
+            # is actually queued: the path is settled for this core.
+            # Prime *before* yielding — the probes happen at one virtual
+            # instant, and any write landing during the Compute below
+            # un-primes via the covering masks.
+            hier.primed_mask |= 1 << core
         yield Compute(total_cost)
         if not any_hot:
             self._rec_pass_empty(engine.now - pass_start)
             return 0, 0, False
-        for queue in path:
+        local_ns = self._local_ns
+        xfer_m = self._xfer_m
+        for queue, qbit, qstats, line, lstats, replayable in self._scan_entries[core]:
+            if (
+                fast_on
+                and replayable
+                and not hier.summary & qbit
+                and engine.now >= queue._quiet_after
+            ):
+                # Settled-empty level on a hot pass: ``get_task`` would
+                # probe (visible == actual == empty once the last
+                # transition's slowest invalidation has landed), charge
+                # the read, and bail before the lock.  Replay exactly
+                # that — including the coherence side effect — and move
+                # to the next level.
+                lstats.reads += 1
+                if core in line.sharers:
+                    lstats.read_hits += 1
+                    cost = local_ns
+                else:
+                    lstats.read_misses += 1
+                    cost = xfer_m[line.owner][core]
+                    lstats.transfer_ns_total += cost
+                    line.sharers.add(core)
+                qstats.empty_checks += 1
+                yield Compute(cost)
+                continue
             seen: set[int] = set()
             while True:
-                lost_before = queue.stats.lost_races
+                lost_before = qstats.lost_races
                 task = yield from queue.get_task(core)
                 if task is None:
-                    if queue.stats.lost_races > lost_before:
+                    if qstats.lost_races > lost_before:
                         contended = True  # raced another core and lost
                     break
                 if id(task) in seen:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.core.task import LTask
-from repro.threads.instructions import BlockOn, Instr, SpinOn
+from repro.threads.instructions import BlockOn, Compute, Instr, SpinOn
 from repro.threads.scheduler import Keypoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -47,17 +47,19 @@ def piom_wait(
         return
     if mode != "active":
         raise ValueError(f"unknown wait mode {mode!r}")
-    if pioman.scheduler is not None:
-        pioman.scheduler.cores[core].keypoint_counts[Keypoint.WAIT] += 1
-    from repro.threads.instructions import Compute
-
     sched = pioman.scheduler
+    if sched is not None:
+        sched.cores[core].keypoint_counts[Keypoint.WAIT] += 1
     engine = pioman.engine
     wait_hist = sched.keypoint_ns[Keypoint.WAIT] if sched is not None else None
+    # hot-loop bindings: the active wait is itself a scheduler keypoint
+    # and runs once per spin_check_ns while the task is in flight
+    schedule_once = pioman.schedule_once
+    spin_check = Compute(pioman.machine.spec.spin_check_ns)
     misses = 0
     while not flag.is_set:
         t0 = engine.now
-        ran = (yield from pioman.schedule_once(core))[0]
+        ran = (yield from schedule_once(core))[0]
         if wait_hist is not None:
             wait_hist.record(engine.now - t0)
         if flag.is_set:
@@ -69,9 +71,11 @@ def piom_wait(
                 # core's hands (its doorbell already rang).  Spin on the
                 # completion word — we observe the remote store one line
                 # transfer after it lands, without hammering the queues.
+                # (This escalation is the WAIT keypoint's native backoff;
+                # the idle keypoint's opt-in analogue is IdleBackoff.)
                 yield SpinOn(flag)
                 return
-            yield Compute(pioman.machine.spec.spin_check_ns)
+            yield spin_check
         else:
             misses = 0
 

@@ -60,6 +60,15 @@ class QueueStats:
 class TaskQueue:
     """One spinlock-protected task list bound to a topology node."""
 
+    #: Whether an idle scan of this queue while it is *settled-empty*
+    #: (actually empty and past every core's stale window) is a pure
+    #: probe — one emptiness read, no lock traffic — so the hierarchy's
+    #: occupancy-summary fast path may replay that probe's exact cost and
+    #: counters without calling :meth:`get_task`.  True for Algorithm-2
+    #: queues (the probe short-circuits before the lock); the always-lock
+    #: ablation locks even when empty, so it opts out.
+    replayable_empty_scan = True
+
     def __init__(
         self,
         machine: "Machine",
@@ -99,6 +108,20 @@ class TaskQueue:
         self._inval_m = machine._inval
         self._xfer_m = machine._xfer
         self._local_ns = machine.spec.local_ns
+        # Occupancy-summary attachment (see QueueHierarchy): the board is
+        # the hierarchy object carrying the shared ``summary`` bitmap (one
+        # bit per queue, tracking *actual* emptiness) and the per-core
+        # ``primed_mask`` of the O(1) empty-pass fast path.  Any write to
+        # this queue's emptiness state un-primes exactly the cores whose
+        # scan path contains it (``_keep_primed`` = ~covered-cores mask).
+        self._board: Any = None
+        self._bitmask = 0
+        self._keep_primed = -1
+        # The settle deadline of the last transition: once ``engine.now``
+        # reaches it, the slowest core's invalidation has landed, so every
+        # core's ``_visible_nonempty`` equals the actual emptiness.
+        self._quiet_after = -(10**12)
+        self._max_inval = [max(row) for row in machine._inval]
 
     def _visible_nonempty(self, core: int) -> bool:
         """Emptiness as observed by ``core`` (stale within one transfer)."""
@@ -110,10 +133,41 @@ class TaskQueue:
             return self._prev_nonempty
         return actual
 
+    def attach_summary(self, board: Any, bitmask: int, keep_primed: int) -> None:
+        """Wire this queue into a hierarchy's occupancy summary.
+
+        ``board`` carries the mutable ``summary``/``primed_mask`` ints;
+        ``bitmask`` is this queue's bit; ``keep_primed`` is the core mask
+        to AND into ``primed_mask`` whenever this queue's emptiness state
+        is written (the complement of the cores that scan this queue).
+        """
+        self._board = board
+        self._bitmask = bitmask
+        self._keep_primed = keep_primed
+
+    def _note_state_write(self) -> None:
+        """A write touched the emptiness line: un-prime the covering cores."""
+        board = self._board
+        if board is not None:
+            board.primed_mask &= self._keep_primed
+
     def _note_transition(self, core: int, prev_nonempty: bool) -> None:
-        self._trans_time = self.engine.now
+        now = self.engine.now
+        self._trans_time = now
         self._trans_writer = core
         self._prev_nonempty = prev_nonempty
+        self._quiet_after = now + self._max_inval[core]
+        board = self._board
+        if board is not None:
+            # ``summary`` tracks the *actual* emptiness exactly: a
+            # transition with prev_nonempty=True just drained the queue,
+            # one with prev_nonempty=False is about to make it non-empty.
+            # Staleness lives entirely in ``_quiet_after``/``primed_mask``.
+            if prev_nonempty:
+                board.summary &= ~self._bitmask
+            else:
+                board.summary |= self._bitmask
+            board.primed_mask &= self._keep_primed
 
     # ------------------------------------------------------------------
     def _acquire(self) -> Instr:
@@ -177,6 +231,7 @@ class TaskQueue:
         """Append a task under the queue lock (thread-context generator)."""
         yield self._acquire()
         cost = self.state_line.write_async(core)
+        self._note_state_write()
         yield Compute(cost)
         if not self._tasks:
             self._note_transition(core, prev_nonempty=False)
@@ -201,6 +256,7 @@ class TaskQueue:
         if not self._tasks:
             self._note_transition(core, prev_nonempty=False)
         self.state_line.write_async(core)
+        self._note_state_write()
         self._tasks.append(task)
         task.state = TaskState.QUEUED
         task.queue_name = self.name
@@ -222,6 +278,7 @@ class TaskQueue:
         task = self._pop_eligible(core)
         if task is not None:
             cost += self.state_line.write_async(core)
+            self._note_state_write()
             if not self._tasks:
                 self._note_transition(core, prev_nonempty=True)
             self._note_dequeued(core, task)
@@ -264,6 +321,14 @@ class TaskQueue:
         canceller's core is unknown on this host-instant path).  Returns
         False if the task is not queued here.
 
+        Like every mutation of the task list, the removal *writes* the
+        emptiness line: remote cached copies are invalidated (their next
+        probe pays a transfer miss, exactly as after a dequeue) and the
+        occupancy summary is updated — a drain clears the queue's bit; a
+        non-draining removal leaves it set but still un-primes scanners.
+        Earlier revisions skipped the line write, leaving stale sharers
+        that read the post-removal state as a free local hit.
+
         Works unchanged for every variant (mutex, lock-free, always-lock):
         they all share the underlying task list.
         """
@@ -272,6 +337,8 @@ class TaskQueue:
         except ValueError:
             return False
         self.stats.removes += 1
+        self.state_line.write_async(self.home)
+        self._note_state_write()
         if not self._tasks:
             self._note_transition(self.home, prev_nonempty=True)
         return True
@@ -287,9 +354,19 @@ class TaskQueue:
         registry.register(f"{base}.mem", self.state_line.stats)
 
     def drain(self) -> list[LTask]:
-        """Testing/shutdown helper: remove everything without cost."""
+        """Testing/shutdown helper: remove everything without cost.
+
+        Charges nothing and notes no transition, but does keep the
+        occupancy summary truthful (bit cleared, covering cores un-primed)
+        so a hierarchy outlives its drained queues.
+        """
         out = list(self._tasks)
         self._tasks.clear()
+        if out:
+            board = self._board
+            if board is not None:
+                board.summary &= ~self._bitmask
+                board.primed_mask &= self._keep_primed
         return out
 
     def __repr__(self) -> str:
@@ -304,6 +381,9 @@ class AlwaysLockTaskQueue(TaskQueue):
     generate constant lock traffic.
     """
 
+    #: an empty scan still takes the lock here — never replay it as a probe
+    replayable_empty_scan = False
+
     def get_task(self, core: int) -> Generator[Instr, Any, Optional[LTask]]:
         yield self._acquire()
         self.stats.lock_sections += 1
@@ -312,6 +392,7 @@ class AlwaysLockTaskQueue(TaskQueue):
         if task is not None:
             self.stats.nonempty_checks += 1
             cost += self.state_line.write_async(core)
+            self._note_state_write()
             if not self._tasks:
                 self._note_transition(core, prev_nonempty=True)
             self._note_dequeued(core, task)

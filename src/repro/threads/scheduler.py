@@ -76,6 +76,12 @@ class Keypoint(enum.Enum):
     CTX_SWITCH = "ctx_switch"
     WAIT = "wait"
 
+    # Enum.__hash__ is a Python-level function; these members key the
+    # per-pass ``keypoint_counts`` dict increments on every idle pass.
+    # Members are singletons compared by identity, so identity hashing
+    # is equivalent — and C-speed.
+    __hash__ = object.__hash__
+
 
 class CoreState:
     """Mutable per-core scheduling state."""
@@ -94,6 +100,7 @@ class CoreState:
         "timer_ticks",
         "keypoint_counts",
         "preempt_pending",
+        "backoff_streak",
     )
 
     def __init__(self, core_id: int) -> None:
@@ -110,6 +117,8 @@ class CoreState:
         self.timer_ticks = 0
         self.keypoint_counts: dict[Keypoint, int] = {k: 0 for k in Keypoint}
         self.preempt_pending = False
+        #: consecutive no-progress idle passes (adaptive backoff input)
+        self.backoff_streak = 0
 
 
 class Scheduler:
@@ -128,6 +137,7 @@ class Scheduler:
         rng: Optional[Rng] = None,
         true_spin: bool = False,
         registry: Optional["MetricsRegistry"] = None,
+        idle_backoff: Optional[Any] = None,
     ) -> None:
         self.machine = machine
         self.engine = engine
@@ -135,6 +145,14 @@ class Scheduler:
         self.tracer = tracer
         self.cores = [CoreState(i) for i in range(machine.ncores)]
         self.progression_hook: Optional[ProgressionHook] = None
+        #: O(1) empty-pass accessory to the hook (see PIOMan.fast_pass):
+        #: ``progression_fast(core)`` returns the pass's single batched
+        #: instruction when the core's scan path is proven settled-empty
+        #: (having done the pass's host-side accounting), else None and
+        #: the idle loop falls back to the full generator hook.
+        #: ``progression_fast_done(ns)`` records the realized pass span.
+        self.progression_fast: Optional[Callable[[int], Optional[Instr]]] = None
+        self.progression_fast_done: Optional[Callable[[int], None]] = None
         self.ctx_hook_min_interval_ns = ctx_hook_min_interval_ns
         self.enable_ctx_hook = enable_ctx_hook
         self.enable_timer_hook = enable_timer_hook
@@ -145,6 +163,12 @@ class Scheduler:
         #: events — only for checking the doorbell model's equivalence on
         #: small scenarios (DESIGN.md section 2).
         self.true_spin = true_spin
+        #: adaptive idle backoff policy (``delay_ns(base_ns, streak)``
+        #: duck-type, e.g. :class:`repro.core.variants.IdleBackoff`).
+        #: None (the default) keeps the fixed re-poll periods: the policy
+        #: trades empty passes for wakeup latency, so it ships as an
+        #: opt-in variant quantified by the ablation bench.
+        self.idle_backoff = idle_backoff
         self._seq = 0
         self._rr_seq = 0
         #: timer quantum cached off the (immutable) spec: read once per
@@ -211,7 +235,8 @@ class Scheduler:
         core_id = ctx.core_id
         spec = self.machine.spec
         engine = self.engine
-        counts = self.cores[core_id].keypoint_counts
+        state = self.cores[core_id]
+        counts = state.keypoint_counts
         hist = self.keypoint_ns[Keypoint.IDLE]
         kp_idle = Keypoint.IDLE
         # Instructions are read-only values to the interpreter, so the
@@ -221,39 +246,83 @@ class Scheduler:
         yield_cpu = YieldCPU()
         sleep_probe = Sleep(spec.probe_cycle_ns)
         sleep_repoll = Sleep(spec.idle_repoll_ns)
+        backoff = self.idle_backoff
         linger = 0
+        while self.progression_hook is None:
+            yield park
+        # Hooks are wired before the engine runs (PIOMan attaches itself at
+        # construction) and never swapped mid-run, so the loop binds them
+        # once instead of re-reading three attributes per pass.
+        hook = self.progression_hook
+        fast = self.progression_fast
+        fast_done = self.progression_fast_done
+        rq = state.run_queue
+        true_spin = self.true_spin
+        linger_max = self.idle_linger_probes
         while True:
-            hook = self.progression_hook
-            if hook is None:
-                yield park
-                continue
             counts[kp_idle] += 1
             hook_t0 = engine.now
-            res = yield from hook(core_id)
-            hist.record(engine.now - hook_t0)
-            if res is None:
-                res = (0, 0, False)
-            ran, repeats, contended = (res + (False,))[:3]
-            if self._has_ready_normal(core_id):
+            instr = fast(core_id) if fast is not None else None
+            if instr is not None:
+                # Settled-empty pass: the accessory already did the pass
+                # accounting; yield its batched cost directly, skipping a
+                # generator creation + two resumes per pass.
+                yield instr
+                span = engine.now - hook_t0
+                hist.record(span)
+                fast_done(span)
+                ran = repeats = 0
+                contended = False
+            else:
+                res = yield from hook(core_id)
+                hist.record(engine.now - hook_t0)
+                if res is None:
+                    ran = repeats = 0
+                    contended = False
+                elif len(res) == 3:
+                    ran, repeats, contended = res
+                else:  # legacy 2-tuple hooks
+                    ran, repeats, contended = (res + (False,))[:3]
+            if backoff is not None:
+                # streak of passes that completed nothing; any doorbell
+                # (_ring_arrive) resets it, so a submission snaps the
+                # core back to the base period
+                if ran > repeats:
+                    state.backoff_streak = 0
+                else:
+                    state.backoff_streak += 1
+            if rq and self._has_ready_normal(core_id):
                 yield yield_cpu
             elif ran > repeats:
                 # made real progress (completed at least one task):
                 # rescan immediately
                 linger = 0
                 continue
-            elif contended and linger < self.idle_linger_probes:
+            elif contended and linger < linger_max:
                 # Just lost a dequeue race: stay hot and re-probe, like a
                 # real spinner would — this keeps contention alive across
                 # back-to-back submissions (paper Tables I/II, level 2/3).
+                # Deliberately never stretched: lingering exists to keep
+                # contention behaviour realistic, not to save passes.
                 linger += 1
                 yield sleep_probe
             elif repeats and self.normal_live > 0:
                 linger = 0
-                yield sleep_repoll
-            elif self.true_spin and self.normal_live > 0:
+                if backoff is None:
+                    yield sleep_repoll
+                else:
+                    yield Sleep(
+                        backoff.delay_ns(spec.idle_repoll_ns, state.backoff_streak)
+                    )
+            elif true_spin and self.normal_live > 0:
                 # literal spin-polling: re-scan one probe cycle from now
                 linger = 0
-                yield sleep_probe
+                if backoff is None:
+                    yield sleep_probe
+                else:
+                    yield Sleep(
+                        backoff.delay_ns(spec.probe_cycle_ns, state.backoff_streak)
+                    )
             else:
                 linger = 0
                 yield park
@@ -297,7 +366,11 @@ class Scheduler:
             self.ring_doorbell(c, from_core, extra_ns)
 
     def _ring_arrive(self, core_id: int) -> None:
-        idle = self.cores[core_id].idle_thread
+        core = self.cores[core_id]
+        # a doorbell means work may be visible: reset the backoff streak
+        # even if the idle thread is mid-pass (true_spin) or already awake
+        core.backoff_streak = 0
+        idle = core.idle_thread
         if idle is None or idle.state is not TState.BLOCKED:
             return
         if idle.sleep_event is not None:
@@ -742,8 +815,37 @@ class Scheduler:
             cost = instr.flag.set(core.id)
             self._resume_after(core, thread, cost)
         elif cls is Sleep:
-            thread.sleep_event = self.engine.schedule(instr.ns, self._sleep_wake, thread)
-            self._block(core, thread, f"sleep:{instr.ns}")
+            ns = instr.ns
+            if type(ns) is int and ns >= 0:
+                # engine.schedule inlined with a pooled carrier: idle
+                # re-polls sleep once per pass, making this the third-
+                # hottest event source.  The handle stays cancellable
+                # (doorbells cancel it), so the engine ref is kept for
+                # live-count upkeep; every cancel site drops the handle
+                # immediately, which keeps recycling safe.
+                engine = self.engine
+                seq = engine._seq
+                engine._seq = seq + 1
+                t = engine.now + ns
+                pool = engine._pool
+                if pool:
+                    ev = pool.pop()
+                    ev.time = t
+                    ev.seq = seq
+                    ev.fn = self._sleep_wake
+                    ev.args = (thread,)
+                    ev.alive = True
+                else:
+                    ev = Event(t, seq, self._sleep_wake, (thread,))
+                    ev._pooled = True
+                ev._engine = engine
+                engine._live += 1
+                heappush(engine._heap, (t, seq, ev))
+                thread.sleep_event = ev
+                self._block(core, thread, "sleep")
+            else:
+                thread.sleep_event = self.engine.schedule(ns, self._sleep_wake, thread)
+                self._block(core, thread, f"sleep:{ns}")
         elif cls is YieldCPU:
             thread.state = TState.READY
             thread.rq_seq = self._rr_seq

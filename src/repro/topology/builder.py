@@ -146,6 +146,65 @@ def numa_machine(
     return Machine(spec, root)
 
 
+def ccx_machine(
+    nnuma: int = 2,
+    chips_per_numa: int = 2,
+    ccx_per_chip: int = 2,
+    cores_per_ccx: int = 3,
+    *,
+    name: Optional[str] = None,
+    l3_xfer_ns: int = 26,
+    chip_xfer_ns: int = 60,
+    numa_xfer_ns: int = 250,
+    cross_numa_xfer_ns: int = 1_000,
+    spec: Optional[MachineSpec] = None,
+) -> Machine:
+    """A chiplet machine: several L3 complexes ("CCX") per chip.
+
+    Unlike :func:`numa_machine` — whose single L3 spans its whole chip, so
+    the chip level collapses into the cache level in the queue hierarchy —
+    a multi-CCX chip keeps all five levels distinct (core, L3, chip, NUMA,
+    machine).  This is the deepest scan path the topology model can
+    express, and matches post-2017 chiplet parts where an 8-core die holds
+    two 4-core L3 complexes.
+    """
+    for v, label in (
+        (nnuma, "NUMA nodes"), (chips_per_numa, "chips"),
+        (ccx_per_chip, "CCX per chip"), (cores_per_ccx, "cores per CCX"),
+    ):
+        if v < 1:
+            raise ValueError(f"need at least one of: {label}")
+    if spec is None:
+        spec = MachineSpec(
+            name=name
+            or f"ccx{nnuma}x{chips_per_numa}x{ccx_per_chip}x{cores_per_ccx}",
+            xfer_ns={
+                Level.CACHE: l3_xfer_ns,
+                Level.CHIP: chip_xfer_ns,
+                Level.NUMA: numa_xfer_ns,
+                Level.MACHINE: cross_numa_xfer_ns,
+            },
+        )
+    root = TopoNode(Level.MACHINE, 0, name="machine")
+    core_id = 0
+    cache_id = 0
+    for numa in range(nnuma):
+        numa_node = TopoNode(Level.NUMA, numa, parent=root)
+        for chip in range(chips_per_numa):
+            chip_node = TopoNode(
+                Level.CHIP, numa * chips_per_numa + chip, parent=numa_node
+            )
+            for _ in range(ccx_per_chip):
+                ccx = TopoNode(
+                    Level.CACHE, cache_id, parent=chip_node, name=f"l3#{cache_id}"
+                )
+                cache_id += 1
+                for _ in range(cores_per_ccx):
+                    TopoNode(Level.CORE, core_id, parent=ccx)
+                    core_id += 1
+    return Machine(spec, root)
+
+
 def from_counts(counts: Sequence[int], spec: MachineSpec) -> Machine:
     """Build from a ``[nnuma, nchips_per_numa, ncores_per_chip]``-style list.
 
@@ -184,5 +243,6 @@ def nehalem_ex_64() -> Machine:
 MACHINES = {
     "borderline": borderline,
     "kwak": kwak,
+    "ccx24": ccx_machine,
     "nehalem_ex_64": nehalem_ex_64,
 }

@@ -11,6 +11,20 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of a non-negative int, lowest first.
+
+    Shared helper for bitmask walks (CPU sets, the queue hierarchy's
+    occupancy summary): isolating the lowest set bit with ``mask & -mask``
+    jumps straight between set bits instead of shifting through every
+    zero in between, which matters for sparse masks over many positions.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 class CpuSet:
     """Immutable set of core ids backed by an int bitmask."""
 
@@ -76,12 +90,7 @@ class CpuSet:
 
     # -- inspection --------------------------------------------------------
     def __iter__(self) -> Iterator[int]:
-        m, i = self.mask, 0
-        while m:
-            if m & 1:
-                yield i
-            m >>= 1
-            i += 1
+        return iter_bits(self.mask)
 
     def __len__(self) -> int:
         return self.mask.bit_count()

@@ -28,9 +28,26 @@ def test_quick_matrix_shape(quick_report):
         "latency_mt",
         "scal_numa32",
         "cluster_ring",
+        "idle_spin",
+        "idle_spin_nosummary",
     ]
     assert quick_report.total_events > 0
     assert quick_report.aggregate_events_per_sec > 0
+
+
+def test_idle_spin_pair_simulates_identically(quick_report):
+    """idle_spin and idle_spin_nosummary run the same seeded simulation
+    with the occupancy-summary fast path on/off; everything but the fast
+    path's own hit counter must agree, and the fast-path run must have
+    actually exercised the O(1) pass."""
+    on = quick_report.scenario("idle_spin").fingerprint
+    off = quick_report.scenario("idle_spin_nosummary").fingerprint
+    strip = lambda fp: {k: v for k, v in fp.items() if k != "summary_hits"}
+    assert strip(on) == strip(off)
+    assert on["summary_hits"] > on["schedule_passes"] * 0.9, (
+        "idle-heavy steady state should be answered by the fast path"
+    )
+    assert off["summary_hits"] == 0
 
 
 def test_virtual_outcomes_are_deterministic(quick_report):
@@ -94,10 +111,10 @@ def test_matrix_specs_carry_seeds_and_names():
     specs = matrix_specs(quick=True, seed=7)
     assert [s.name for s in specs] == [
         "micro_local", "micro_global", "latency_mt",
-        "scal_numa32", "cluster_ring",
+        "scal_numa32", "cluster_ring", "idle_spin", "idle_spin_nosummary",
     ]
     # the seed lives in the spec, fixed before any worker runs
-    assert [s.kwargs["seed"] for s in specs] == [7, 8, 9, 10, 11]
+    assert [s.kwargs["seed"] for s in specs] == [7, 8, 9, 10, 11, 12, 12]
 
 
 def test_parallel_comparison_requires_two_workers():

@@ -1,0 +1,294 @@
+"""Occupancy summary: bit<->occupancy invariant, priming, fast-path identity.
+
+The tentpole invariant is simple to state: after any queue operation
+completes, a queue's summary bit is set **iff** the queue actually holds
+tasks.  (Visibility — what a *core* believes — may lag behind via the
+stale-window model; the summary tracks ground truth, and the fast path
+bridges the two with the priming handshake.)  The tests drive random
+interleavings of every mutating operation and check the invariant after
+each one, then check the priming rules and the end-to-end bit-identity
+of the fast path against the probing slow path.
+"""
+
+import random
+
+from repro.core.manager import PIOMan
+from repro.core.task import LTask, TaskState
+from repro.core.variants import IdleBackoff
+from repro.obs.registry import MetricsRegistry
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.threads.instructions import Compute
+from repro.threads.scheduler import Keypoint, Scheduler
+from repro.topology.builder import ccx_machine, kwak
+from repro.topology.cpuset import CpuSet, iter_bits
+
+
+def _pioman(machine, **kwargs):
+    engine = Engine()
+    sched = Scheduler(machine, engine, rng=Rng(kwargs.pop("seed", 1)))
+    pio = PIOMan(machine, engine, sched, **kwargs)
+    return pio, engine, sched
+
+
+def _assert_summary_matches_occupancy(hier):
+    for q in hier.queues():
+        assert bool(len(q)) == bool(hier.summary & q._bitmask), (
+            f"{q.name}: len={len(q)} but summary bit "
+            f"{'set' if hier.summary & q._bitmask else 'clear'}"
+        )
+
+
+# ----------------------------------------------------------------------
+# the invariant, under random interleavings of every mutating op
+# ----------------------------------------------------------------------
+def test_summary_bit_tracks_occupancy_under_random_ops():
+    machine = kwak()
+    pio, engine, sched = _pioman(machine)
+    hier = pio.hierarchy
+    rng = random.Random(20260806)
+    queues = hier.queues()
+    live: list[tuple] = []  # (queue, task)
+    counter = [0]
+
+    def body(ctx):
+        for _ in range(400):
+            op = rng.random()
+            q = rng.choice(queues)
+            core = rng.choice(list(q.node.cpuset))
+            if op < 0.40:
+                t = LTask(None, cpuset=q.node.cpuset, name=f"r{counter[0]}")
+                counter[0] += 1
+                if rng.random() < 0.5:
+                    yield from q.enqueue(core, t)
+                else:
+                    q.enqueue_nowait(core, t)
+                live.append((q, t))
+            elif op < 0.70:
+                t = yield from q.get_task(core)
+                if t is not None:
+                    live.remove((q, t))
+            elif op < 0.85 and live:
+                q2, t = rng.choice(live)
+                assert q2.remove(t)
+                live.remove((q2, t))
+            elif live:
+                q2, t = rng.choice(live)
+                assert pio.cancel(t)
+                assert t.state is TaskState.CANCELLED
+                live.remove((q2, t))
+            _assert_summary_matches_occupancy(hier)
+            # let simulated time move so stale windows open and close
+            if rng.random() < 0.3:
+                yield Compute(rng.randrange(1, 400))
+
+    sched.spawn(body, 0, name="fuzzer")
+    engine.run()
+    _assert_summary_matches_occupancy(hier)
+    assert counter[0] >= 100  # the fuzz actually exercised the ops
+
+
+# ----------------------------------------------------------------------
+# remove / cancel bookkeeping (the PR's bugfix satellite)
+# ----------------------------------------------------------------------
+def test_remove_updates_summary_only_when_queue_drains():
+    machine = kwak()
+    pio, engine, sched = _pioman(machine)
+    hier = pio.hierarchy
+    q = hier.global_queue
+    t1 = LTask(None, cpuset=machine.all_cores(), name="t1")
+    t2 = LTask(None, cpuset=machine.all_cores(), name="t2")
+    q.enqueue_nowait(0, t1)
+    q.enqueue_nowait(0, t2)
+    assert hier.summary & q._bitmask
+    assert q.remove(t1)
+    assert hier.summary & q._bitmask, "queue still holds t2"
+    assert q.remove(t2)
+    assert not hier.summary & q._bitmask, "drained queue must clear its bit"
+    assert not q.remove(t2), "double-remove must report absence"
+
+
+def test_remove_writes_the_state_line_and_unprimes_covering_cores():
+    """``remove`` mutates the queue; the cores that scan it must lose
+    their primed bit (their replayed batched pass would otherwise skip
+    re-observing a queue whose line they no longer share)."""
+    machine = kwak()
+    pio, engine, sched = _pioman(machine)
+    hier = pio.hierarchy
+    q = hier.global_queue
+    t = LTask(None, cpuset=machine.all_cores(), name="t")
+    q.enqueue_nowait(0, t)
+    hier.primed_mask = (1 << machine.ncores) - 1  # pretend everyone settled
+    assert q.remove(t)
+    assert hier.primed_mask == 0, "a write to the global queue un-primes all"
+
+
+def test_cancel_through_pioman_keeps_summary_consistent():
+    machine = kwak()
+    pio, engine, sched = _pioman(machine)
+    hier = pio.hierarchy
+    task = LTask(None, cpuset=CpuSet.single(3), name="c")
+    q = hier.queue_for_cpuset(task.cpuset)
+    q.enqueue_nowait(0, task)
+    assert pio.pending_tasks() == 1
+    assert pio.cancel(task)
+    assert task.state is TaskState.CANCELLED
+    _assert_summary_matches_occupancy(hier)
+    assert pio.pending_tasks() == 0
+
+
+# ----------------------------------------------------------------------
+# priming
+# ----------------------------------------------------------------------
+def test_enqueue_unprimes_exactly_the_cores_that_scan_the_queue():
+    machine = kwak()  # 4 NUMA x 4 cores
+    pio, engine, sched = _pioman(machine)
+    hier = pio.hierarchy
+    all_cores = (1 << machine.ncores) - 1
+    hier.primed_mask = all_cores
+    # a per-NUMA queue covers cores 0-3 only
+    q = hier.queue_for_cpuset(CpuSet({0, 1, 2, 3}))
+    assert q is not hier.global_queue
+    q.enqueue_nowait(0, LTask(None, cpuset=CpuSet({0, 1, 2, 3}), name="n"))
+    assert hier.primed_mask == all_cores & ~q.node.cpuset.mask, (
+        "only the cores whose scan path contains the queue lose priming"
+    )
+
+
+def test_primed_pass_replays_exactly_the_slow_path_accounting():
+    """Once a core is primed, ``fast_pass`` must reproduce — counter for
+    counter — what an actual empty Algorithm-1 walk would have recorded:
+    one all-hit read per path queue and the same batched virtual cost."""
+    machine = ccx_machine()
+    pio, engine, sched = _pioman(machine, summary_fastpath=True)
+    hier = pio.hierarchy
+    core = 5
+    path = hier.scan_path(core)
+
+    def settle(ctx):
+        # one real pass primes the core (every line becomes core-shared
+        # and provably settled-empty)
+        yield from pio.schedule_once(core)
+        yield Compute(10_000)  # let every stale window expire
+        yield from pio.schedule_once(core)
+
+    sched.spawn(settle, core, name="settle")
+    engine.run()
+    assert hier.primed_mask >> core & 1, "empty settled pass must prime"
+    before = [
+        (q.stats.empty_checks, q.state_line.stats.reads,
+         q.state_line.stats.read_hits, q.state_line.stats.read_misses)
+        for q in path
+    ]
+    passes0 = pio.stats.schedule_passes
+    hits0 = hier.summary_stats.summary_hits
+    instr = pio.fast_pass(core)
+    assert isinstance(instr, Compute)
+    assert instr.ns == len(path) * machine.spec.local_ns
+    assert pio.stats.schedule_passes == passes0 + 1
+    assert hier.summary_stats.summary_hits == hits0 + 1
+    for (ec, r, h, m), q in zip(before, path):
+        assert q.stats.empty_checks == ec + 1
+        assert q.state_line.stats.reads == r + 1
+        assert q.state_line.stats.read_hits == h + 1, "replay must be all-hit"
+        assert q.state_line.stats.read_misses == m
+
+
+def test_fast_pass_declines_when_not_primed():
+    machine = ccx_machine()
+    pio, engine, sched = _pioman(machine, summary_fastpath=True)
+    assert pio.fast_pass(0) is None  # nothing settled yet
+    assert pio.hierarchy.summary_stats.summary_hits == 0
+
+
+# ----------------------------------------------------------------------
+# set-bit iteration helpers
+# ----------------------------------------------------------------------
+def test_iter_bits_yields_set_bits_ascending():
+    assert list(iter_bits(0)) == []
+    assert list(iter_bits(0b1011001)) == [0, 3, 4, 6]
+    assert list(CpuSet({2, 17, 5})) == [2, 5, 17]
+
+
+def test_hot_queues_walks_only_set_bits_on_the_scan_path():
+    machine = kwak()
+    pio, engine, sched = _pioman(machine)
+    hier = pio.hierarchy
+    assert hier.hot_queues(0) == []
+    local = hier.scan_path(0)[0]
+    local.enqueue_nowait(0, LTask(None, cpuset=local.node.cpuset, name="h"))
+    hier.global_queue.enqueue_nowait(
+        0, LTask(None, cpuset=machine.all_cores(), name="g")
+    )
+    hot = hier.hot_queues(0)
+    assert local in hot and hier.global_queue in hot
+    # a queue off core 0's path never shows up, set bit or not
+    far = hier.scan_path(machine.ncores - 1)[0]
+    far.enqueue_nowait(machine.ncores - 1,
+                       LTask(None, cpuset=far.node.cpuset, name="f"))
+    assert far not in hier.hot_queues(0)
+
+
+# ----------------------------------------------------------------------
+# memoized idle-core candidate order
+# ----------------------------------------------------------------------
+def test_candidate_order_is_nearest_first_and_cached():
+    machine = kwak()
+    pio, engine, sched = _pioman(machine)
+    hier = pio.hierarchy
+    cs = machine.all_cores()
+    order = hier.candidate_order(cs, from_core=5)
+    assert sorted(order) == list(range(machine.ncores))
+    xfer = machine.xfer_row(5)
+    dists = [xfer[c] for c in order]
+    assert dists == sorted(dists), "candidates must come nearest first"
+    assert hier.candidate_order(cs, from_core=5) is order, "memoized"
+    assert hier.candidate_order(cs, from_core=0) is not order
+
+
+# ----------------------------------------------------------------------
+# adaptive idle backoff
+# ----------------------------------------------------------------------
+def test_idle_backoff_delay_schedule():
+    p = IdleBackoff(factor=2, free_passes=2, max_ns=8_000)
+    base = 500
+    assert [p.delay_ns(base, s) for s in range(7)] == [
+        500, 500, 500, 1000, 2000, 4000, 8000
+    ]
+    assert p.delay_ns(base, 60) == 8_000, "saturates, no huge int powers"
+
+
+def _backoff_run(policy, seed=3):
+    machine = kwak()
+    engine = Engine()
+    registry = MetricsRegistry()
+    sched = Scheduler(
+        machine, engine, rng=Rng(seed), true_spin=True,
+        idle_backoff=policy, registry=registry,
+    )
+    pio = PIOMan(machine, engine, sched, registry=registry)
+    done = []
+
+    def driver(ctx):
+        for i in range(6):
+            yield Compute(25_000)
+            t = LTask(None, cpuset=CpuSet.single(1 + i % (machine.ncores - 1)),
+                      name=f"b{i}")
+            yield from pio.submit(0, t)
+            done.append(t)
+
+    sched.spawn(driver, 0, name="driver")
+    engine.run(until=400_000)
+    idle_passes = sum(c.keypoint_counts.get(Keypoint.IDLE, 0) for c in sched.cores)
+    assert pio.stats.tasks_completed == 6
+    return engine.fired, engine.now, registry.snapshot(), idle_passes
+
+
+def test_idle_backoff_cuts_empty_passes_and_stays_deterministic():
+    a = _backoff_run(IdleBackoff())
+    b = _backoff_run(IdleBackoff())
+    assert a[:3] == b[:3], "backoff runs must be reproducible"
+    fixed = _backoff_run(None)
+    assert a[3] < fixed[3] / 2, (
+        f"backoff should cut idle passes sharply ({a[3]} vs {fixed[3]})"
+    )

@@ -22,10 +22,13 @@ from repro.sim.trace import Tracer
 _GLOBAL_ID = re.compile(r"#\d+")
 
 
-def _run_scenario(seed: int):
+def _run_scenario(seed: int, summary_fastpath: bool = True):
     tracer = Tracer(enabled=True)
     registry = MetricsRegistry()
-    cl = Cluster(3, seed=seed, tracer=tracer, registry=registry)
+    cl = Cluster(
+        3, seed=seed, tracer=tracer, registry=registry,
+        summary_fastpath=summary_fastpath,
+    )
     mpi = MadMPI(cl)
     comms = [mpi.comm(i) for i in range(3)]
 
@@ -79,3 +82,20 @@ def test_different_seed_diverges():
     a = _run_scenario(seed=42)
     c = _run_scenario(seed=43)
     assert (a[0], a[1]) != (c[0], c[1])
+
+
+def test_summary_fastpath_is_bit_identical_to_slow_path():
+    """The occupancy-summary fast path is a pure host-speed optimization:
+    with it on (the default) and off, the virtual outcome — events fired,
+    final time, every metric except the fast path's own hit counters, and
+    the trace — must match to the bit.  This is what licenses shipping it
+    enabled by default."""
+    on = _run_scenario(seed=42, summary_fastpath=True)
+    off = _run_scenario(seed=42, summary_fastpath=False)
+    assert on[0] == off[0], "event counts diverged"
+    assert on[1] == off[1], "final virtual time diverged"
+    strip = lambda snap: {k: v for k, v in snap.items() if ".summary." not in k}
+    assert strip(on[2]) == strip(off[2]), "metrics snapshot diverged"
+    assert on[3] == off[3], "trace streams diverged"
+    # the fast path's own counters exist (and only differ in the hit mix)
+    assert any(".summary." in k for k in on[2])
