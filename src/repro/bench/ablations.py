@@ -5,7 +5,11 @@
 * A3 — Algorithm 2's double-checked locking vs always-lock;
 * A4 — lock-free (CAS) queues, the paper's future work (§VI);
 * A5 — fixed-period idle re-polling vs :class:`repro.core.variants.
-  IdleBackoff` (exponential stretch after consecutive empty passes).
+  IdleBackoff` (exponential stretch after consecutive empty passes);
+* A6 — a clean run vs the same run under injected faults
+  (:mod:`repro.faults`): packet loss/reorder plus lock-holder
+  preemption, measuring what the retransmit path and the scheduler's
+  robustness machinery cost in makespan.
 
 The shared workload is an *affinity burst*: core #0 submits one task per
 remote core back-to-back, then waits for all of them — the pattern a
@@ -235,8 +239,80 @@ def queue_leg(
 
 
 @dataclass
+class FaultsResult:
+    """One A6 leg: makespan + fault counters of a 2-node exchange."""
+
+    label: str
+    makespan_ns: int
+    completed: int
+    drops: int
+    retransmits: int
+    reorders: int
+    lock_preemptions: int
+
+
+def faults_leg(
+    *,
+    faulty: bool = False,
+    msgs: int = 16,
+    size: int = 4096,
+    seed: int = 31,
+    label: str = "",
+) -> FaultsResult:
+    """One A6 leg: an eager-message exchange, clean or under faults.
+
+    ``msgs`` eager messages (below the rendezvous threshold, so every
+    payload crosses the wire through ``Nic.post_send`` where drops and
+    reorders bite) between two nodes.  The faulty leg layers packet loss,
+    reordering and lock-holder preemption on the *same* seeded world; the
+    makespan delta is the price of surviving a hostile network.
+    """
+    from repro.cluster.cluster import Cluster
+    from repro.faults.plan import FaultPlan, LockPreemption, NetFaults
+    from repro.mpi import MadMPI
+
+    plan = None
+    if faulty:
+        plan = FaultPlan(
+            seed=seed,
+            net=NetFaults(drop_p=0.12, reorder_p=0.2),
+            lock_preemption=LockPreemption(p=0.05, window_ns=30_000),
+        )
+    cl = Cluster(2, seed=seed, faults=plan)
+    mpi = MadMPI(cl)
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    end: dict[str, int] = {}
+
+    def sender(ctx):
+        for i in range(msgs):
+            yield from c0.send(ctx.core_id, 1, i, size, payload=b"x")
+        end["send"] = ctx.now
+
+    def receiver(ctx):
+        for i in range(msgs):
+            yield from c1.recv(ctx.core_id, 0, i)
+        end["recv"] = ctx.now
+
+    cl.nodes[0].scheduler.spawn(sender, 0, name="a6-send")
+    cl.nodes[1].scheduler.spawn(receiver, 0, name="a6-recv")
+    cl.run(until=msgs * 10_000_000 + 100_000_000)
+    if len(end) < 2:
+        raise RuntimeError(f"faults leg stalled ({end})")
+    fs = cl.faults.stats if cl.faults is not None else None
+    return FaultsResult(
+        label=label or ("faulty" if faulty else "clean"),
+        makespan_ns=max(end.values()),
+        completed=msgs,
+        drops=fs.drops if fs else 0,
+        retransmits=fs.retransmits if fs else 0,
+        reorders=fs.reorders if fs else 0,
+        lock_preemptions=fs.lock_preemptions if fs else 0,
+    )
+
+
+@dataclass
 class AblationSuite:
-    """All ten legs of the A1-A5 ablation matrix on kwak."""
+    """All twelve legs of the A1-A6 ablation matrix on kwak."""
 
     a1_hier: BurstResult = None
     a1_flat: BurstResult = None
@@ -248,6 +324,8 @@ class AblationSuite:
     a4_lockfree: object = None
     a5_fixed: BackoffResult = None
     a5_backoff: BackoffResult = None
+    a6_clean: FaultsResult = None
+    a6_faulty: FaultsResult = None
 
     def format(self) -> str:
         us = 1000.0
@@ -270,11 +348,16 @@ class AblationSuite:
             f"   ({self.a5_fixed.idle_passes / max(1, self.a5_backoff.idle_passes):.2f}x"
             f" fewer; wakeup {self.a5_fixed.mean_wakeup_ns / us:.2f}"
             f" -> {self.a5_backoff.mean_wakeup_ns / us:.2f} us)",
+            f"A6 faults       clean  {self.a6_clean.makespan_ns / us:>9.1f} us"
+            f"   faulty {self.a6_faulty.makespan_ns / us:>7.1f} us"
+            f"   ({self.a6_faulty.makespan_ns / self.a6_clean.makespan_ns:.2f}x;"
+            f" {self.a6_faulty.drops} drops, {self.a6_faulty.retransmits} retx,"
+            f" {self.a6_faulty.lock_preemptions} preempt)",
         ]
         return "\n".join(lines)
 
 
-#: the ten ablation legs: (field, target, kwargs) — seeds fixed to the
+#: the twelve ablation legs: (field, target, kwargs) — seeds fixed to the
 #: values EXPERIMENTS.md has always used, so the suite reproduces it
 _SUITE_LEGS = (
     ("a1_hier", "burst_leg", {"hierarchical": True}),
@@ -287,6 +370,9 @@ _SUITE_LEGS = (
     ("a4_lockfree", "queue_leg", {"queue": "lockfree", "seed": 13}),
     ("a5_fixed", "backoff_leg", {"backoff": False, "seed": 11}),
     ("a5_backoff", "backoff_leg", {"backoff": True, "seed": 11}),
+    # A6 pair shares a seed on purpose: same world, faults on/off
+    ("a6_clean", "faults_leg", {"faulty": False, "seed": 31}),
+    ("a6_faulty", "faults_leg", {"faulty": True, "seed": 31}),
 )
 
 
@@ -297,7 +383,7 @@ def run_ablation_suite(
     jobs: int = 1,
     timeout_s: float | None = None,
 ) -> AblationSuite:
-    """Run all ten ablation legs, optionally fanned out over workers.
+    """Run all twelve ablation legs, optionally fanned out over workers.
 
     Every leg is an independent seeded simulation, so leg-level fan-out
     merges back (by field name) bit-identical to the serial loop.

@@ -21,7 +21,12 @@ The matrix deliberately spans the simulator's distinct hot paths:
 * ``idle_spin`` / ``idle_spin_nosummary`` — an idle-heavy spin-polling
   steady state on a deep chiplet machine, run with the occupancy-summary
   fast path on and off: the pair's ev/s ratio is the fast path's measured
-  speedup, and their virtual outcomes must be identical.
+  speedup, and their virtual outcomes must be identical;
+* ``fault_net`` / ``fault_slowcore`` / ``fault_storm`` — the same stack
+  under :mod:`repro.faults` injection (packet loss + reorder with
+  timeout retransmit, straggler cores, cancellation storms with
+  lock-holder preemption): hostile worlds are part of the determinism
+  contract too, so their fault counters live in the fingerprints.
 
 Each scenario also returns a **fingerprint** of the simulated outcome
 (final virtual time, events fired, key scheduler counters).  The
@@ -375,11 +380,201 @@ def _idle_spin_scenario(
     )
 
 
+def _fault_net_scenario(
+    name: str, msgs: int, size: int, drop_p: float, reorder_p: float, seed: int
+) -> ScenarioResult:
+    """Eager 2-node exchange under seeded packet loss + reordering.
+
+    Every payload stays below the rendezvous threshold so it crosses the
+    wire through ``Nic.post_send`` — the path the injector's drop/reorder
+    hooks and the driver's timeout retransmit cover.  The fingerprint
+    pins the fault counters themselves: a change in when (or whether) a
+    frame is dropped is a semantic change, not noise.
+    """
+    from repro.cluster.cluster import Cluster
+    from repro.faults.plan import FaultPlan, NetFaults
+    from repro.mpi import MadMPI
+
+    plan = FaultPlan(seed=seed, net=NetFaults(drop_p=drop_p, reorder_p=reorder_p))
+    cluster = Cluster(2, seed=seed, faults=plan)
+    mpi = MadMPI(cluster)
+    c0, c1 = mpi.comm(0), mpi.comm(1)
+    done = [0, 0]
+
+    def sender(ctx):
+        for i in range(msgs):
+            yield from c0.send(ctx.core_id, 1, i, size, payload=b"x")
+            done[0] += 1
+
+    def receiver(ctx):
+        for i in range(msgs):
+            yield from c1.recv(ctx.core_id, 0, i)
+            done[1] += 1
+
+    def run() -> None:
+        cluster.nodes[0].scheduler.spawn(sender, 0, name="fault-send")
+        cluster.nodes[1].scheduler.spawn(receiver, 0, name="fault-recv")
+        cluster.run(until=msgs * 10_000_000 + 100_000_000)
+
+    engine = cluster.engine
+    events, wall_ms, virtual_ns = _timed(engine, run)
+    if done != [msgs, msgs]:
+        raise RuntimeError(f"{name}: stalled at {done}/{msgs}")
+    fs = cluster.faults.stats
+    return ScenarioResult(
+        name=name,
+        events=events,
+        wall_ms=wall_ms,
+        events_per_sec=events / (wall_ms / 1e3) if wall_ms else 0.0,
+        virtual_ns=virtual_ns,
+        fingerprint={
+            "fired": events,
+            "virtual_ns": virtual_ns,
+            "messages": sum(done),
+            "drops": fs.drops,
+            "retransmits": fs.retransmits,
+            "reorders": fs.reorders,
+        },
+    )
+
+
+def _fault_slowcore_scenario(
+    name: str, reps: int, slow_cores: tuple, factor: float, seed: int
+) -> ScenarioResult:
+    """Global-queue round-trips with frequency-skewed straggler cores.
+
+    Same shape as ``micro_global`` but some cores run ``factor``x slower
+    (the injector's per-core skew in the scheduler's ``_advance`` cost
+    accounting): NUMA capture keeps routing work to whichever core grabs
+    the queue lock, so stragglers stretch the whole round-trip tail.
+    """
+    from repro.core.manager import PIOMan
+    from repro.core.progress import piom_wait
+    from repro.core.task import LTask
+    from repro.faults.inject import FaultInjector
+    from repro.faults.plan import FaultPlan, SlowCores
+    from repro.sim.rng import Rng
+    from repro.threads.scheduler import Scheduler
+    from repro.topology.builder import MACHINES
+
+    machine = MACHINES["borderline"]()
+    engine = Engine()
+    sched = Scheduler(machine, engine, rng=Rng(seed))
+    pioman = PIOMan(machine, engine, sched)
+    plan = FaultPlan(
+        seed=seed, slow_cores=SlowCores(cores=tuple(slow_cores), factor=factor)
+    )
+    injector = FaultInjector(plan).install(scheduler=sched, pioman=pioman)
+    cpuset = machine.all_cores()
+
+    def submitter(ctx):
+        for i in range(reps):
+            task = LTask(None, cpuset=cpuset, name=f"slow{i}")
+            yield from pioman.submit(0, task)
+            yield from piom_wait(pioman, 0, task, mode="spin")
+
+    def run() -> None:
+        sched.spawn(submitter, 0, name="slow-submitter")
+        engine.run(until=reps * 2_000_000)
+
+    events, wall_ms, virtual_ns = _timed(engine, run)
+    if pioman.stats.tasks_completed < reps:
+        raise RuntimeError(f"{name}: stalled at {pioman.stats.tasks_completed}/{reps}")
+    return ScenarioResult(
+        name=name,
+        events=events,
+        wall_ms=wall_ms,
+        events_per_sec=events / (wall_ms / 1e3) if wall_ms else 0.0,
+        virtual_ns=virtual_ns,
+        fingerprint={
+            "fired": events,
+            "virtual_ns": virtual_ns,
+            "submits": pioman.stats.submits,
+            "executions": pioman.stats.executions,
+            "slow_cores": injector.stats.slow_cores,
+        },
+    )
+
+
+def _fault_storm_scenario(
+    name: str, decoys: int, gap_us: int, seed: int
+) -> ScenarioResult:
+    """Cancellation storm + lock-holder preemption on a spin-polling host.
+
+    A driver pins decoy tasks to its own core so they linger in the queue
+    (spin-polling neighbours can't steal them), while storm ticks pick
+    queued victims and fire ``PIOMan.cancel`` half an interval later —
+    racing in-flight execution on purpose — and every queue-lock grant
+    may eat an injected descheduling window.  The fingerprint pins the
+    submitted = executed + cancelled accounting.
+    """
+    from repro.core.manager import PIOMan
+    from repro.core.task import LTask
+    from repro.faults.inject import FaultInjector
+    from repro.faults.plan import CancelStorm, FaultPlan, LockPreemption
+    from repro.sim.rng import Rng
+    from repro.threads.instructions import Compute
+    from repro.threads.scheduler import Scheduler
+    from repro.topology.builder import ccx_machine
+    from repro.topology.cpuset import CpuSet
+
+    machine = ccx_machine()
+    engine = Engine()
+    sched = Scheduler(machine, engine, rng=Rng(seed), true_spin=True)
+    pioman = PIOMan(machine, engine, sched)
+    gap = gap_us * 1_000
+    plan = FaultPlan(
+        seed=seed,
+        # the double-checked fallback keeps empty queues lock-free, so
+        # grants are scarce — a high p is needed to see preemptions at all
+        lock_preemption=LockPreemption(p=0.25, window_ns=30_000),
+        cancel_storm=CancelStorm(
+            count=max(2, decoys // 4), interval_ns=3 * gap, start_ns=gap
+        ),
+    )
+    injector = FaultInjector(plan).install(scheduler=sched, pioman=pioman)
+
+    def driver(ctx):
+        for i in range(decoys):
+            yield Compute(gap)
+            task = LTask(None, cpuset=CpuSet.single(0), name=f"decoy{i}")
+            yield from pioman.submit(0, task)
+
+    def run() -> None:
+        sched.spawn(driver, 0, name="storm-driver")
+        engine.run(until=decoys * gap + 50_000_000)
+
+    events, wall_ms, virtual_ns = _timed(engine, run)
+    st = pioman.stats
+    fs = injector.stats
+    if st.executions + fs.cancel_hits < st.submits:
+        raise RuntimeError(
+            f"{name}: lost tasks ({st.submits} submitted, "
+            f"{st.executions} ran, {fs.cancel_hits} cancelled)"
+        )
+    return ScenarioResult(
+        name=name,
+        events=events,
+        wall_ms=wall_ms,
+        events_per_sec=events / (wall_ms / 1e3) if wall_ms else 0.0,
+        virtual_ns=virtual_ns,
+        fingerprint={
+            "fired": events,
+            "virtual_ns": virtual_ns,
+            "submits": st.submits,
+            "executions": st.executions,
+            "cancel_attempts": fs.cancel_attempts,
+            "cancel_hits": fs.cancel_hits,
+            "lock_preemptions": fs.lock_preemptions,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # the matrix
 # ----------------------------------------------------------------------
 def matrix_specs(*, quick: bool = False, seed: int = 7) -> list:
-    """The fixed 7-scenario matrix as :class:`repro.par.JobSpec` jobs.
+    """The fixed 10-scenario matrix as :class:`repro.par.JobSpec` jobs.
 
     Each scenario carries its own derived seed in the spec, so its
     simulated outcome (the fingerprint) is fixed before any worker runs —
@@ -436,6 +631,27 @@ def matrix_specs(*, quick: bool = False, seed: int = 7) -> list:
             kwargs=dict(name="idle_spin_nosummary", duration_us=75 * scale,
                         gap_us=20, seed=seed + 5, fastpath=False,
                         best_of=1 if quick else 5),
+        ),
+        # hostile-world scenarios (repro.faults): same determinism contract
+        # as the clean ones — the *fault* counters are in the fingerprint,
+        # so a change in what gets dropped/preempted/cancelled is a diff
+        JobSpec(
+            name="fault_net",
+            target=f"{mod}:_fault_net_scenario",
+            kwargs=dict(name="fault_net", msgs=6 * scale, size=4096,
+                        drop_p=0.12, reorder_p=0.2, seed=seed + 6),
+        ),
+        JobSpec(
+            name="fault_slowcore",
+            target=f"{mod}:_fault_slowcore_scenario",
+            kwargs=dict(name="fault_slowcore", reps=40 * scale,
+                        slow_cores=(1, 3), factor=3.0, seed=seed + 7),
+        ),
+        JobSpec(
+            name="fault_storm",
+            target=f"{mod}:_fault_storm_scenario",
+            kwargs=dict(name="fault_storm", decoys=10 * scale, gap_us=20,
+                        seed=seed + 8),
         ),
     ]
 

@@ -13,6 +13,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.manager import PIOMan
 from repro.core.queues import TaskQueue
+from repro.faults import FaultInjector, FaultPlan
 from repro.net.driver import DriverSpec, IB_CONNECTX
 from repro.net.fabric import Fabric
 from repro.net.nic import Nic
@@ -94,6 +95,7 @@ class Cluster:
         queue_factory: Callable = TaskQueue,
         registry=None,
         summary_fastpath: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if nnodes < 1:
             raise ValueError("need at least one node")
@@ -118,6 +120,19 @@ class Cluster:
             )
             for i in range(nnodes)
         ]
+        #: fault injector when a plan is attached (``faults=FaultPlan(...)``);
+        #: None keeps every hook cold — bit-identical to a plan-less run
+        self.faults: Optional[FaultInjector] = None
+        if faults is not None and faults.enabled():
+            injector = FaultInjector(faults, tracer=tracer)
+            injector.engine = self.engine
+            for node in self.nodes:
+                injector.install(
+                    scheduler=node.scheduler, pioman=node.pioman, nics=node.nics
+                )
+            if registry is not None:
+                registry.register("faults", injector.stats)
+            self.faults = injector
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run the shared engine (see :meth:`repro.sim.Engine.run`)."""

@@ -51,6 +51,9 @@ class PIOManStats:
     executions: int = 0
     repeat_requeues: int = 0
     schedule_passes: int = 0
+    #: cancels that caught an *in-flight* task (dequeued or mid-run) —
+    #: honored by suppressing the re-enqueue instead of a list removal
+    cancels_inflight: int = 0
     executions_by_core: dict[int, int] = field(default_factory=dict)
 
     def note_exec(self, core: int) -> None:
@@ -417,8 +420,11 @@ class PIOMan:
                         contended = True  # raced another core and lost
                     break
                 if id(task) in seen:
-                    # already polled this pass; put it back and move on
-                    yield from queue.enqueue(core, task)
+                    # already polled this pass; put it back and move on —
+                    # unless a cancel landed while it was in our hands
+                    # (re-enqueueing would resurrect it)
+                    if task.state is not TaskState.CANCELLED:
+                        yield from queue.enqueue(core, task)
                     break
                 seen.add(id(task))
                 complete = yield from self._run_task(core, queue, task)
@@ -442,9 +448,18 @@ class PIOMan:
             first = task.first_polled_at if task.first_polled_at is not None else t0
             self.latency.queue_wait.record(first - task.submit_time)
         yield Compute(spec.task_run_ns + task.cost_ns)
+        if task.state is TaskState.CANCELLED:
+            # A cancel landed between our dequeue and the execution (the
+            # task was in flight, in no queue): honor it — running the
+            # function or re-enqueueing now would resurrect the task.
+            return True
         complete = task.run(core)
         self.stats.note_exec(core)
         if task.repeat and not complete:
+            if task.state is TaskState.CANCELLED:
+                # cancelled during its own run (storm racing a repeat
+                # task): stop here, no re-enqueue, no completion record
+                return True
             self.stats.repeat_requeues += 1
             if self.tracer.enabled:
                 self.tracer.emit(
@@ -475,12 +490,32 @@ class PIOMan:
     # cancellation & inspection
     # ------------------------------------------------------------------
     def cancel(self, task: LTask) -> bool:
-        """Remove a queued task (host-instant; used at teardown). Returns
-        True if the task was found and cancelled."""
+        """Cancel ``task`` (host-instant; teardown and fault storms).
+
+        Queued tasks are removed from their list (the queue keeps its
+        emptiness line and occupancy-summary bookkeeping consistent, see
+        :meth:`TaskQueue.remove`).  A task that is *in flight* — already
+        dequeued by a scanning core (still ``QUEUED``, in no list) or a
+        repeat task mid-run — cannot be removed from anywhere, but it
+        can still be marked: every re-enqueue path checks for
+        ``CANCELLED`` and drops the task instead of resurrecting it.
+        Earlier revisions returned False here and the next repeat
+        re-enqueue brought the task back from the dead, with a summary
+        bit set for work the caller believed gone.
+
+        Returns True when the task will not run (again); False when it
+        is unknown or completing anyway (``RUNNING`` non-repeat, which
+        finishes regardless, or already ``DONE``/``CANCELLED``).
+        """
         for queue in self.hierarchy.queues():
             if queue.remove(task):
                 task.state = TaskState.CANCELLED
                 return True
+        st = task.state
+        if st is TaskState.QUEUED or (st is TaskState.RUNNING and task.repeat):
+            task.state = TaskState.CANCELLED
+            self.stats.cancels_inflight += 1
+            return True
         return False
 
     def pending_tasks(self) -> int:

@@ -233,6 +233,15 @@ class TaskQueue:
         cost = self.state_line.write_async(core)
         self._note_state_write()
         yield Compute(cost)
+        if task.state is TaskState.CANCELLED:
+            # Cancelled while we were acquiring the lock (a cancellation
+            # storm racing an in-flight re-enqueue): leave the list
+            # untouched — appending would resurrect the task and set a
+            # summary bit for work that must not exist.  The line write
+            # above already happened; that is just a spurious
+            # invalidation, same as a lost dequeue race.
+            yield self._release()
+            return
         if not self._tasks:
             self._note_transition(core, prev_nonempty=False)
         self._tasks.append(task)
@@ -253,6 +262,8 @@ class TaskQueue:
         bookkeeping matches :meth:`enqueue`; lock traffic is not modeled
         for this rare path.
         """
+        if task.state is TaskState.CANCELLED:
+            return  # never resurrect a cancelled task (see enqueue)
         if not self._tasks:
             self._note_transition(core, prev_nonempty=False)
         self.state_line.write_async(core)

@@ -90,6 +90,8 @@ class LockFreeTaskQueue(TaskQueue):
 
     def enqueue(self, core: int, task: LTask) -> Generator[Instr, Any, None]:
         yield Compute(self._rmw_cost(core))
+        if task.state is TaskState.CANCELLED:
+            return  # never resurrect a cancelled task (see TaskQueue.enqueue)
         if not self._tasks:
             self._note_transition(core, prev_nonempty=False)
         self._tasks.append(task)

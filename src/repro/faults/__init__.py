@@ -1,0 +1,41 @@
+"""Deterministic, seeded fault injection for the simulator.
+
+Public surface:
+
+* :class:`FaultPlan` and the per-fault specs (:class:`NetFaults`,
+  :class:`SlowCores`, :class:`LockPreemption`, :class:`CancelStorm`) —
+  frozen, picklable descriptions of what should go wrong;
+* :class:`FaultInjector` — the runtime that attaches a plan to live
+  components (``install(scheduler=..., pioman=..., nics=...)``);
+* :class:`FaultStats` — the aggregate counters registered under
+  ``faults.*``.
+
+``Cluster(..., faults=FaultPlan(...))`` wires a whole cluster in one
+line.  See ``docs/FAULTS.md`` for the fault model and the seeding
+discipline that keeps every faulty run bit-reproducible.
+"""
+
+from repro.faults.inject import FaultInjector, FaultStats
+from repro.faults.plan import (
+    CANCEL_STREAM,
+    LOCK_STREAM,
+    NET_STREAM,
+    CancelStorm,
+    FaultPlan,
+    LockPreemption,
+    NetFaults,
+    SlowCores,
+)
+
+__all__ = [
+    "FaultPlan",
+    "NetFaults",
+    "SlowCores",
+    "LockPreemption",
+    "CancelStorm",
+    "FaultInjector",
+    "FaultStats",
+    "NET_STREAM",
+    "LOCK_STREAM",
+    "CANCEL_STREAM",
+]

@@ -79,3 +79,49 @@ TCP_ETH = DriverSpec(
 DRIVERS = {
     d.name: d for d in (IB_CONNECTX, MYRI10G_MX, QSNET_ELAN, TCP_ETH)
 }
+
+
+# ---------------------------------------------------------------------------
+# timeout-based retransmit path (fault injection)
+# ---------------------------------------------------------------------------
+def default_retransmit_timeout_ns(spec: DriverSpec, size_bytes: int = 4096) -> int:
+    """Default loss-detection timeout for ``spec``: a few round-trips of a
+    typical frame, so retransmits are late enough to look like timeouts
+    but early enough that faulty scenarios still make progress."""
+    return 4 * spec.wire_ns(size_bytes)
+
+
+class RetransmitPath:
+    """Per-NIC retransmit bookkeeping for the fault injector.
+
+    The simulated drivers are normally lossless, so this state machine
+    only exists when a :class:`repro.faults.NetFaults` plan is attached.
+    It tracks how many times each frame (keyed by its process-unique
+    ``Frame.seq``) has been dropped, answers whether another drop is
+    allowed (``max_retries`` bounds the worst case, guaranteeing
+    progress), and hands out the timeout after which the sender re-posts
+    the frame.  Delivery stays exactly-once: a drop means the original
+    transmission never arrives and the timeout-driven re-post is the
+    only copy in flight.
+    """
+
+    __slots__ = ("timeout_ns", "max_retries", "_tries")
+
+    def __init__(self, timeout_ns: int, max_retries: int) -> None:
+        self.timeout_ns = timeout_ns
+        self.max_retries = max_retries
+        #: Frame.seq -> drops so far (entries cleared on delivery)
+        self._tries: dict[int, int] = {}
+
+    def may_drop(self, frame) -> bool:
+        """Is this transmission still allowed to be lost?"""
+        return self._tries.get(frame.seq, 0) < self.max_retries
+
+    def note_drop(self, frame) -> int:
+        """Record a drop; returns the retransmit timeout to arm."""
+        self._tries[frame.seq] = self._tries.get(frame.seq, 0) + 1
+        return self.timeout_ns
+
+    def clear(self, frame) -> None:
+        """The frame made it onto the wire for real: forget its history."""
+        self._tries.pop(frame.seq, None)

@@ -41,6 +41,9 @@ class NicStats:
         "polls",
         "empty_polls",
         "tx_busy_ns",
+        "drops",
+        "retransmits",
+        "reorders",
     )
 
     def __init__(self) -> None:
@@ -53,6 +56,10 @@ class NicStats:
         self.polls = 0
         self.empty_polls = 0
         self.tx_busy_ns = 0
+        # fault injection (repro.faults): zero on a healthy wire
+        self.drops = 0
+        self.retransmits = 0
+        self.reorders = 0
 
 
 class Nic:
@@ -70,6 +77,8 @@ class Nic:
         self.stats = NicStats()
         #: host-side callback fired on every CQ write (nmad rings doorbells)
         self.on_cq_write: Optional[Callable[["Nic", Completion], None]] = None
+        #: fault injector (repro.faults); None = lossless wire, zero cost
+        self.faults = None
 
     # ------------------------------------------------------------------
     # transmit path
@@ -93,7 +102,12 @@ class Nic:
         frame.sent_at = eng.now
         self.stats.frames_sent += 1
         self.stats.bytes_sent += frame.size_bytes
-        self.fabric.deliver(self, frame, arrive)
+        faults = self.faults
+        if faults is None:
+            self.fabric.deliver(self, frame, arrive)
+        else:
+            # drop/reorder/retransmit decisions (exactly-once delivery)
+            faults.deliver(self, frame, arrive)
         if signal_done:
             eng.post_at(depart, self._complete, Completion(kind="send_done", frame=frame))
         return arrive

@@ -92,6 +92,12 @@ class _LockWait:
     end: int
 
 
+@dataclass
+class _FaultEvent:
+    kind: str
+    time: int
+
+
 # ---------------------------------------------------------------------------
 # analysis result
 # ---------------------------------------------------------------------------
@@ -101,11 +107,14 @@ class CoreReport:
     busy_ns: int = 0
     runs: int = 0
     completions: int = 0
-    utilization: float = 0.0
+    #: busy fraction of the traced span; None (rendered "n/a") when the
+    #: trace has no time span to divide by — 0.0 would claim a measured
+    #: idle core where nothing was actually measured
+    utilization: Optional[float] = None
 
     @property
-    def idle_fraction(self) -> float:
-        return 1.0 - self.utilization
+    def idle_fraction(self) -> Optional[float]:
+        return None if self.utilization is None else 1.0 - self.utilization
 
 
 @dataclass
@@ -116,8 +125,31 @@ class LevelLatency:
     count: int
     p50_ns: int
     p99_ns: int
+    p999_ns: int
     max_ns: int
     mean_ns: float
+
+
+@dataclass
+class FaultImpact:
+    """Tail impact of one injected fault type (repro.faults).
+
+    Completions whose [submit, complete] window contains at least one
+    fault event of this kind are "impacted"; the rest of the same trace
+    are the in-situ control group.  ``tail_ratio`` is impacted p999 over
+    clean p999 — how much the fault stretched the far tail — and is None
+    when either side has no samples.
+    """
+
+    kind: str
+    events: int
+    impacted_tasks: int
+    clean_tasks: int
+    impacted_p99_ns: Optional[int]
+    impacted_p999_ns: Optional[int]
+    clean_p99_ns: Optional[int]
+    clean_p999_ns: Optional[int]
+    tail_ratio: Optional[float]
 
 
 @dataclass
@@ -152,6 +184,14 @@ class TraceAnalysis:
     levels: list[LevelLatency] = field(default_factory=list)
     locks: list[LockReport] = field(default_factory=list)
     slowest: list[SlowTask] = field(default_factory=list)
+    #: overall submit→complete latency percentiles; None ("n/a") when the
+    #: trace contains no completed tasks
+    completion_p50_ns: Optional[int] = None
+    completion_p99_ns: Optional[int] = None
+    completion_p999_ns: Optional[int] = None
+    #: injected-fault events seen on the trace, and per-kind tail impact
+    fault_events: int = 0
+    faults: list[FaultImpact] = field(default_factory=list)
 
     @property
     def span_ns(self) -> int:
@@ -167,17 +207,21 @@ class TraceAnalysis:
         out = dataclasses.asdict(self)
         out["span_ns"] = self.span_ns
         for core in out["cores"]:
-            core["idle_fraction"] = 1.0 - core["utilization"]
+            util = core["utilization"]
+            core["idle_fraction"] = None if util is None else 1.0 - util
         return out
 
 
 # ---------------------------------------------------------------------------
 # ingestion
 # ---------------------------------------------------------------------------
-def _events_from_tracer(tracer) -> tuple[list[_Run], list[_Submit], list[_LockWait]]:
+def _events_from_tracer(
+    tracer,
+) -> tuple[list[_Run], list[_Submit], list[_LockWait], list[_FaultEvent]]:
     runs: list[_Run] = []
     submits: list[_Submit] = []
     locks: list[_LockWait] = []
+    faults: list[_FaultEvent] = []
     for rec in tracer.records:
         data = rec.data or {}
         phase = data.get("phase")
@@ -213,13 +257,20 @@ def _events_from_tracer(tracer) -> tuple[list[_Run], list[_Submit], list[_LockWa
                     end=rec.time,
                 )
             )
-    return runs, submits, locks
+        elif phase == "fault":
+            faults.append(
+                _FaultEvent(kind=str(data.get("fault", "unknown")), time=rec.time)
+            )
+    return runs, submits, locks, faults
 
 
-def _events_from_doc(doc: dict) -> tuple[list[_Run], list[_Submit], list[_LockWait]]:
+def _events_from_doc(
+    doc: dict,
+) -> tuple[list[_Run], list[_Submit], list[_LockWait], list[_FaultEvent]]:
     runs: list[_Run] = []
     submits: list[_Submit] = []
     locks: list[_LockWait] = []
+    faults: list[_FaultEvent] = []
     for ev in doc.get("traceEvents", ()):
         ph = ev.get("ph")
         args = ev.get("args") or {}
@@ -237,7 +288,11 @@ def _events_from_doc(doc: dict) -> tuple[list[_Run], list[_Submit], list[_LockWa
             )
         elif ph == "i":
             t = int(round(ev.get("ts", 0) * 1000))
-            if "wait_ns" in args and "lock" in args:
+            if "fault" in args:
+                faults.append(
+                    _FaultEvent(kind=str(args.get("fault", "unknown")), time=t)
+                )
+            elif "wait_ns" in args and "lock" in args:
                 start = int(args.get("start", t))
                 locks.append(
                     _LockWait(
@@ -260,7 +315,7 @@ def _events_from_doc(doc: dict) -> tuple[list[_Run], list[_Submit], list[_LockWa
                         time=t,
                     )
                 )
-    return runs, submits, locks
+    return runs, submits, locks, faults
 
 
 # ---------------------------------------------------------------------------
@@ -280,24 +335,26 @@ def analyze_trace(
     into ``otherData`` is used automatically.
     """
     if hasattr(source, "records"):
-        runs, submits, locks = _events_from_tracer(source)
+        runs, submits, locks, faults = _events_from_tracer(source)
     else:
-        runs, submits, locks = _events_from_doc(source)
+        runs, submits, locks, faults = _events_from_doc(source)
         if ncores is None:
             meta_n = (source.get("otherData") or {}).get("ncores")
             ncores = int(meta_n) if meta_n else None
 
     out = TraceAnalysis(submits=len(submits), runs=len(runs))
+    out.fault_events = len(faults)
     times = (
         [r.start for r in runs]
         + [r.end for r in runs]
         + [s.time for s in submits]
         + [lk.start for lk in locks]
         + [lk.end for lk in locks]
+        + [f.time for f in faults]
     )
     if times:
         out.t_start, out.t_end = min(times), max(times)
-    span = max(out.span_ns, 1)
+    span = out.span_ns  # 0 on empty/degenerate traces: report n/a, not 0%
 
     # -- per-core busy/idle utilization --------------------------------
     max_core = max(
@@ -314,7 +371,7 @@ def analyze_trace(
             if r.complete:
                 rep.completions += 1
     for rep in cores:
-        rep.utilization = rep.busy_ns / span
+        rep.utilization = rep.busy_ns / span if span > 0 else None
     out.cores = cores
     out.completions = sum(c.completions for c in cores)
 
@@ -324,6 +381,9 @@ def analyze_trace(
         runs_by_task.setdefault(r.task, []).append((r.start, r))
     per_level: dict[str, list[int]] = {}
     slow: list[SlowTask] = []
+    #: (submit_time, complete_time, latency) per completed task — feeds the
+    #: overall completion percentiles and the fault-impact windows
+    comp_windows: list[tuple[int, int, int]] = []
     for sub in submits:
         entries = runs_by_task.get(sub.task)
         if not entries:
@@ -349,6 +409,7 @@ def analyze_trace(
                         queue=sub.queue,
                     )
                 )
+                comp_windows.append((sub.time, r.end, r.end - sub.time))
                 break
     rank = {lv: i for i, lv in enumerate(LEVEL_ORDER)}
     for level in sorted(per_level, key=lambda lv: rank.get(lv, len(rank))):
@@ -359,12 +420,54 @@ def analyze_trace(
                 count=len(vals),
                 p50_ns=_percentile(vals, 50),
                 p99_ns=_percentile(vals, 99),
+                p999_ns=_percentile(vals, 99.9),
                 max_ns=vals[-1],
                 mean_ns=sum(vals) / len(vals),
             )
         )
     slow.sort(key=lambda s: -s.latency_ns)
     out.slowest = slow[:top_n]
+
+    # -- overall completion latency (n/a when nothing completed) --------
+    if comp_windows:
+        lats = sorted(lat for (_, _, lat) in comp_windows)
+        out.completion_p50_ns = _percentile(lats, 50)
+        out.completion_p99_ns = _percentile(lats, 99)
+        out.completion_p999_ns = _percentile(lats, 99.9)
+
+    # -- per-fault-kind tail impact -------------------------------------
+    fault_times: dict[str, list[int]] = {}
+    for f in faults:
+        fault_times.setdefault(f.kind, []).append(f.time)
+    for kind in sorted(fault_times):
+        ts = sorted(fault_times[kind])
+        impacted: list[int] = []
+        clean: list[int] = []
+        for t0, t1, lat in comp_windows:
+            i = bisect.bisect_left(ts, t0)
+            (impacted if i < len(ts) and ts[i] <= t1 else clean).append(lat)
+        impacted.sort()
+        clean.sort()
+        imp999 = _percentile(impacted, 99.9) if impacted else None
+        cln999 = _percentile(clean, 99.9) if clean else None
+        ratio = (
+            imp999 / cln999
+            if imp999 is not None and cln999 is not None and cln999 > 0
+            else None
+        )
+        out.faults.append(
+            FaultImpact(
+                kind=kind,
+                events=len(ts),
+                impacted_tasks=len(impacted),
+                clean_tasks=len(clean),
+                impacted_p99_ns=_percentile(impacted, 99) if impacted else None,
+                impacted_p999_ns=imp999,
+                clean_p99_ns=_percentile(clean, 99) if clean else None,
+                clean_p999_ns=cln999,
+                tail_ratio=ratio,
+            )
+        )
 
     # -- lock contention ------------------------------------------------
     by_lock: dict[str, list[int]] = {}
@@ -396,6 +499,14 @@ def analyze_trace_file(
 # ---------------------------------------------------------------------------
 # rendering
 # ---------------------------------------------------------------------------
+def _pct(v: Optional[float]) -> str:
+    return "   n/a" if v is None else f"{100 * v:6.2f}%"
+
+
+def _ns(v: Optional[int]) -> str:
+    return "n/a" if v is None else str(v)
+
+
 def format_analysis(a: TraceAnalysis) -> str:
     """Topology-grouped text report (cores, then levels inner→outer)."""
     lines = [
@@ -404,11 +515,15 @@ def format_analysis(a: TraceAnalysis) -> str:
     ]
     if a.unmatched_submits:
         lines.append(f"   ({a.unmatched_submits} submits had no run slice)")
+    lines.append(
+        f"   submit→complete p50={_ns(a.completion_p50_ns)} "
+        f"p99={_ns(a.completion_p99_ns)} p999={_ns(a.completion_p999_ns)} ns"
+    )
     lines.append("== per-core utilization ==")
     for c in a.cores:
         lines.append(
-            f"  core{c.core:<3} busy {100 * c.utilization:6.2f}%  "
-            f"idle {100 * c.idle_fraction:6.2f}%  "
+            f"  core{c.core:<3} busy {_pct(c.utilization)}  "
+            f"idle {_pct(c.idle_fraction)}  "
             f"({c.runs} runs, {c.completions} completions, {c.busy_ns} ns)"
         )
     if not a.cores:
@@ -417,10 +532,27 @@ def format_analysis(a: TraceAnalysis) -> str:
     for lv in a.levels:
         lines.append(
             f"  {lv.level:<6} n={lv.count:<5} p50={lv.p50_ns:<8} "
-            f"p99={lv.p99_ns:<8} max={lv.max_ns:<8} mean={lv.mean_ns:.1f} ns"
+            f"p99={lv.p99_ns:<8} p999={lv.p999_ns:<8} max={lv.max_ns:<8} "
+            f"mean={lv.mean_ns:.1f} ns"
         )
     if not a.levels:
         lines.append("  (no submit/run pairs traced)")
+    if a.fault_events or a.faults:
+        lines.append("== injected-fault tail impact ==")
+        for fi in a.faults:
+            ratio = "n/a" if fi.tail_ratio is None else f"{fi.tail_ratio:.2f}x"
+            lines.append(
+                f"  {fi.kind:<12} events={fi.events:<5} "
+                f"impacted={fi.impacted_tasks:<5} clean={fi.clean_tasks:<5} "
+                f"p999 {_ns(fi.impacted_p999_ns)} vs {_ns(fi.clean_p999_ns)} ns "
+                f"(tail {ratio}; p99 {_ns(fi.impacted_p99_ns)} vs "
+                f"{_ns(fi.clean_p99_ns)})"
+            )
+        if not a.faults:
+            lines.append(
+                f"  ({a.fault_events} fault events, no completed tasks to "
+                f"attribute them to)"
+            )
     lines.append("== lock contention ==")
     for lk in a.locks:
         lines.append(

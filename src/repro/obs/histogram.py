@@ -17,7 +17,7 @@ into a :class:`Histogram` with power-of-two buckets (HDR-histogram style):
   report).
 
 A histogram is *scrape-aware*: :meth:`to_metrics` renders the stable
-summary mapping (``count/min/max/mean/p50/p90/p99``) that
+summary mapping (``count/min/max/mean/p50/p90/p99/p999``) that
 :class:`repro.obs.MetricsRegistry` flattens into dot-paths, so
 ``pioman.latency.submit_to_complete.p99`` sits right next to the raw
 counters it explains.
@@ -29,8 +29,9 @@ from typing import Iterable, Union
 
 Number = Union[int, float]
 
-#: the summary quantiles exported to the metrics registry — stable paths
-PERCENTILES = (50, 90, 99)
+#: the summary quantiles exported to the metrics registry — stable paths.
+#: labels drop the decimal point: 99.9 scrapes as ``<path>.p999``
+PERCENTILES = (50, 90, 99, 99.9)
 
 
 class Histogram:
@@ -148,7 +149,8 @@ class Histogram:
             "mean": self.mean(),
         }
         for p in PERCENTILES:
-            out[f"p{p}"] = self.percentile(p)
+            label = "p" + format(p, "g").replace(".", "")
+            out[label] = self.percentile(p)
         return out
 
     def __len__(self) -> int:

@@ -138,6 +138,15 @@ def run_jobs(
         deadline = time.monotonic() + limit if limit is not None else None
         running[recv_end] = (proc, index, attempt, deadline)
 
+    def reap(proc) -> None:
+        """Stop a worker for good: SIGTERM, then SIGKILL if it lingers
+        (a child that ignores/blocks SIGTERM must not hang the pool)."""
+        proc.terminate()
+        proc.join(5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+
     def finish(conn, proc, index: int, attempt: int, result: JobResult) -> None:
         results[index] = result
         try:
@@ -145,6 +154,19 @@ def run_jobs(
         except Exception:
             pass
         proc.join()
+
+    def record_timeout(conn, proc, index: int, attempt: int) -> None:
+        spec = specs[index]
+        limit = spec.timeout_s if spec.timeout_s is not None else timeout_s
+        results[index] = JobResult(
+            name=spec.name, index=index, ok=False,
+            error=f"timed out after {limit:g}s",
+            attempts=attempt, pid=proc.pid, parallel=True,
+        )
+        try:
+            conn.close()
+        except Exception:
+            pass
 
     try:
         while pending or running:
@@ -156,7 +178,7 @@ def run_jobs(
             wait_s = max(0.0, min(deadlines) - now) if deadlines else None
             ready = mp_connection.wait(list(running), timeout=wait_s)
             for conn in ready:
-                proc, index, attempt, _ = running.pop(conn)
+                proc, index, attempt, deadline = running.pop(conn)
                 spec = specs[index]
                 try:
                     status, payload, wall_ms = conn.recv()
@@ -167,7 +189,25 @@ def run_jobs(
                         conn.close()
                     except Exception:
                         pass
-                    if attempt <= crash_retries:
+                    expired = (
+                        deadline is not None and time.monotonic() >= deadline
+                    )
+                    if expired:
+                        # A crash at/past the deadline is a timeout, not a
+                        # retryable crash: relaunching would grant the job a
+                        # fresh full time budget, so a wedged-then-killed
+                        # worker could double or triple the intended limit.
+                        limit = (
+                            spec.timeout_s if spec.timeout_s is not None
+                            else timeout_s
+                        )
+                        results[index] = JobResult(
+                            name=spec.name, index=index, ok=False,
+                            error=f"worker crashed at its {limit:g}s deadline "
+                            f"(exit {proc.exitcode}), not retried",
+                            attempts=attempt, pid=proc.pid, parallel=True,
+                        )
+                    elif attempt <= crash_retries:
                         pending.append((index, attempt + 1))
                     else:
                         results[index] = JobResult(
@@ -187,33 +227,48 @@ def run_jobs(
                         pid=proc.pid, parallel=True,
                     ),
                 )
-            if not ready:
-                # the wait timed out: reap every job past its deadline
-                now = time.monotonic()
-                for conn, (proc, index, attempt, deadline) in list(running.items()):
-                    if deadline is None or now < deadline:
-                        continue
-                    running.pop(conn)
-                    spec = specs[index]
-                    limit = (
-                        spec.timeout_s if spec.timeout_s is not None else timeout_s
-                    )
-                    proc.terminate()
-                    proc.join()
+            # Reap every job past its deadline on EVERY pass — not only
+            # when the wait came back empty.  With a steady stream of
+            # completions the wait never times out, and a wedged worker
+            # used to outlive its deadline for as long as its siblings
+            # kept finishing.
+            now = time.monotonic()
+            for conn, (proc, index, attempt, deadline) in list(running.items()):
+                if deadline is None or now < deadline:
+                    continue
+                running.pop(conn)
+                spec = specs[index]
+                if conn.poll():
+                    # Last-chance drain: the result landed in the pipe as
+                    # the deadline expired.  The work is done — take it
+                    # instead of discarding a finished job as a timeout.
                     try:
-                        conn.close()
-                    except Exception:
-                        pass
-                    results[index] = JobResult(
-                        name=spec.name, index=index, ok=False,
-                        error=f"timed out after {limit:g}s",
-                        attempts=attempt, pid=proc.pid, parallel=True,
+                        status, payload, wall_ms = conn.recv()
+                    except (EOFError, OSError):
+                        reap(proc)
+                        record_timeout(conn, proc, index, attempt)
+                        continue
+                    finish(
+                        conn, proc, index, attempt,
+                        JobResult(
+                            name=spec.name, index=index, ok=status == _OK,
+                            value=payload if status == _OK else None,
+                            error=None if status == _OK else payload,
+                            wall_ms=wall_ms, attempts=attempt,
+                            pid=proc.pid, parallel=True,
+                        ),
                     )
+                    continue
+                reap(proc)
+                record_timeout(conn, proc, index, attempt)
     finally:
         # belt-and-braces: never leak workers on an unexpected error
         for conn, (proc, _, _, _) in running.items():
             proc.terminate()
-            proc.join()
+            proc.join(5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
             try:
                 conn.close()
             except Exception:

@@ -36,6 +36,7 @@ class Mutex:
         "stats",
         "tracer",
         "_acquired_at",
+        "faults",
     )
 
     def __init__(
@@ -59,6 +60,8 @@ class Mutex:
         self.tracer: Tracer = NULL_TRACER
         #: when the current holder's grant landed (hold-time span start)
         self._acquired_at = 0
+        #: fault injector (repro.faults): lock-holder preemption windows
+        self.faults = None
 
     def acquire(self, thread: "SimThread") -> Optional[int]:
         """Try to take the mutex for ``thread``.
@@ -73,6 +76,11 @@ class Mutex:
             self.holder = thread
             self._acquired_at = self.engine.now + cost
             self.stats.note_acquire(thread.core_id, contended=False)
+            fi = self.faults
+            if fi is not None:
+                # lock-holder preemption: the new holder stalls for the
+                # window before its critical section starts
+                cost += fi.hold_preempt_ns(thread.core_id)
             return cost
         self._waiters.append((thread, self.engine.now))
         self.stats.note_waiters(len(self._waiters))
@@ -91,6 +99,10 @@ class Mutex:
         waiter, t_enq = self._waiters.popleft()
         self.holder = waiter
         delay = cost + self.machine.xfer(thread.core_id, waiter.core_id)
+        fi = self.faults
+        if fi is not None:
+            # lock-holder preemption on the handoff (see SpinLock.release)
+            delay += fi.hold_preempt_ns(waiter.core_id)
         grant_time = self.engine.now + delay
         self._acquired_at = grant_time
         wait_ns = grant_time - t_enq

@@ -34,13 +34,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class _Waiter:
-    __slots__ = ("core", "grant_cb", "enqueue_time", "seq")
+    __slots__ = ("core", "grant_cb", "enqueue_time", "seq", "owner")
 
-    def __init__(self, core: int, grant_cb: Callable[[], None], t: int, seq: int) -> None:
+    def __init__(
+        self,
+        core: int,
+        grant_cb: Callable[[], None],
+        t: int,
+        seq: int,
+        owner=None,
+    ) -> None:
         self.core = core
         self.grant_cb = grant_cb
         self.enqueue_time = t
         self.seq = seq
+        #: the SimThread that will own the lock once granted (may be None
+        #: for raw callers; the scheduler passes it for priority inheritance)
+        self.owner = owner
 
 
 class SpinLock:
@@ -58,6 +68,8 @@ class SpinLock:
         "stats",
         "tracer",
         "_acquired_at",
+        "faults",
+        "holder_thread",
     )
 
     def __init__(
@@ -82,9 +94,17 @@ class SpinLock:
         self.tracer: Tracer = NULL_TRACER
         #: when the current holder's grant landed (hold-time span start)
         self._acquired_at = 0
+        #: fault injector (repro.faults): lock-holder preemption windows
+        self.faults = None
+        #: owning SimThread while held (None for raw callers); lets the
+        #: scheduler apply priority inheritance when a descheduled holder
+        #: would starve behind a higher-priority spinner on its core
+        self.holder_thread = None
 
     # ------------------------------------------------------------------
-    def acquire(self, core: int, grant_cb: Callable[[], None]) -> Optional[_Waiter]:
+    def acquire(
+        self, core: int, grant_cb: Callable[[], None], owner=None
+    ) -> Optional[_Waiter]:
         """Request the lock for ``core``; ``grant_cb`` fires when granted.
 
         The caller's core is assumed to busy-spin meanwhile (the scheduler
@@ -99,13 +119,21 @@ class SpinLock:
             cost = self.line.rmw(core)
             self.held = True
             self.holder = core
+            self.holder_thread = owner
             self._acquired_at = now + cost
             self.stats.note_acquire(core, contended=False)
+            fi = self.faults
+            if fi is not None:
+                # lock-holder preemption: the winner is descheduled right
+                # after taking the word — the grant (and the critical
+                # section everyone else is spinning on) slips by the
+                # window, which note_hold then counts as hold time
+                cost += fi.hold_preempt_ns(core)
             self.engine.post(cost, grant_cb)
             return None
         # Contended: pay the failed CAS, then spin until handed off.
         self.line.rmw(core)  # mutates coherence state; latency folded into spin
-        waiter = _Waiter(core, grant_cb, now, self._seq)
+        waiter = _Waiter(core, grant_cb, now, self._seq, owner)
         self._waiters.append(waiter)
         self._seq += 1
         self.stats.note_waiters(len(self._waiters))
@@ -139,6 +167,7 @@ class SpinLock:
         if not self._waiters:
             self.held = False
             self.holder = None
+            self.holder_thread = None
             return cost
 
         # NUMA capture: the nearest waiter usually observes the release
@@ -178,7 +207,14 @@ class SpinLock:
             if ws:  # others still hammering the line (CAS storm)
                 xfer = int(xfer * self.machine.spec.contended_factor)
         delay = cost + xfer + self.machine.spec.cas_ns
+        fi = self.faults
+        if fi is not None:
+            # lock-holder preemption on the handoff: the winner is
+            # descheduled as ownership transfers; every remaining spinner
+            # burns the window too (their spin spans it)
+            delay += fi.hold_preempt_ns(winner.core)
         self.holder = winner.core  # ownership transfers at release time
+        self.holder_thread = winner.owner
         grant_time = self.engine.now + delay
         self._acquired_at = grant_time
         spin_ns = grant_time - winner.enqueue_time

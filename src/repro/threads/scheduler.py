@@ -169,6 +169,12 @@ class Scheduler:
         #: trades empty passes for wakeup latency, so it ships as an
         #: opt-in variant quantified by the ablation bench.
         self.idle_backoff = idle_backoff
+        #: per-core frequency skew (fault injection): ``core_skew[c]`` is
+        #: a ``(num, den)`` multiplier stretching every fresh Compute
+        #: interpreted on core ``c``, or None for a nominal core.  Set by
+        #: :meth:`repro.faults.FaultInjector.install`; None (the default)
+        #: leaves the interpreter's instruction stream untouched.
+        self.core_skew: Optional[list] = None
         self._seq = 0
         self._rr_seq = 0
         #: timer quantum cached off the (immutable) spec: read once per
@@ -421,12 +427,14 @@ class Scheduler:
             nxt = rq.pop()
         else:
             # min(rq, key=sort_key) without a method call per element:
-            # order by (priority, FIFO arrival), first occurrence wins ties.
+            # order by (effective priority, FIFO arrival), first occurrence
+            # wins ties.  prio_boost (priority inheritance) substitutes for
+            # the base priority while set.
             nxt = rq[0]
-            bp = nxt.prio
+            bp = nxt.prio if nxt.prio_boost is None else nxt.prio_boost
             bs = nxt.rq_seq
             for t in rq:
-                p = t.prio
+                p = t.prio if t.prio_boost is None else t.prio_boost
                 if p < bp or (p == bp and t.rq_seq < bs):
                     nxt = t
                     bp = p
@@ -589,6 +597,15 @@ class Scheduler:
                 self._finish(core, thread)
                 return
             thread.resume_value = None
+            skew = self.core_skew
+            if skew is not None and instr.__class__ is Compute:
+                # Slow-core fault: stretch *fresh* Compute work only — the
+                # pending_instr path above re-issues remainders that are
+                # already in skewed units (and pooled/shared instruction
+                # instances are never mutated, so build a new one).
+                f = skew[core.id]
+                if f is not None:
+                    instr = Compute(instr.ns * f[0] // f[1])
         engine = self.engine
         thread.instr_start = engine.now
         # The single hottest branch — a Compute slice — is inlined here
@@ -634,10 +651,12 @@ class Scheduler:
         has requested rotation by setting ``preempt_pending`` — when a
         same-priority thread waits (FIFO requeueing makes this fair)."""
         ready = TState.READY
-        prio = thread.prio
+        prio = thread.prio if thread.prio_boost is None else thread.prio_boost
         for t in core.run_queue:
-            if t.state is ready and t.prio <= prio:
-                return True
+            if t.state is ready:
+                p = t.prio if t.prio_boost is None else t.prio_boost
+                if p <= prio:
+                    return True
         return False
 
     def _preempt(self, core: CoreState, thread: SimThread) -> None:
@@ -660,6 +679,21 @@ class Scheduler:
         thread.spin_cancel = None
         thread.pending_instr = instr
         self._charge(core, thread, self.engine.now - thread.instr_start)
+        lock = getattr(instr, "lock", None)
+        if lock is not None:
+            # Priority inheritance: if the lock's owner sits READY at a
+            # lower priority (descheduled mid-critical-section, or between
+            # its grant and the generator resuming), the cancelled spinner
+            # would starve it forever via the run-queue priority order.
+            # Boost the holder to the spinner's priority until it releases.
+            holder = getattr(lock, "holder_thread", None)
+            if (
+                holder is not None
+                and holder.state is TState.READY
+                and thread.prio < holder.prio
+                and holder.prio_boost is None
+            ):
+                holder.prio_boost = thread.prio
         self._preempt(core, thread)
 
     def _charge(self, core: CoreState, thread: SimThread, ns: int) -> None:
@@ -726,6 +760,7 @@ class Scheduler:
 
     def _finish(self, core: CoreState, thread: SimThread) -> None:
         thread.state = TState.DONE
+        thread.prio_boost = None
         if self.tracer.enabled:
             self.tracer.emit(
                 self.engine.now, "sched", f"core{core.id}", f"finish {thread.name}"
@@ -804,11 +839,26 @@ class Scheduler:
                         f"thread {thread.name!r}"
                     )
 
-            waiter = instr.lock.acquire(core.id, granted)
+            waiter = instr.lock.acquire(core.id, granted, thread)
             if waiter is not None:
                 lock = instr.lock
                 thread.spin_cancel = (lambda: lock.cancel_waiter(waiter), instr)
+                holder = lock.holder_thread
+                if (
+                    holder is not None
+                    and holder.core_id == core.id
+                    and holder.state is TState.READY
+                    and thread.prio < holder.prio
+                ):
+                    # Futile spin: the lock's owner was descheduled on THIS
+                    # core, so spinning can only starve it (priority-
+                    # inversion livelock).  Inherit: boost the holder to the
+                    # spinner's priority and yield the CPU to it.
+                    holder.prio_boost = thread.prio
+                    self._cancel_spin(core, thread)
         elif cls is Release:
+            if thread.prio_boost is not None:
+                thread.prio_boost = None  # inherited priority ends here
             cost = instr.lock.release(core.id)
             self._resume_after(core, thread, cost)
         elif cls is SetFlag:
@@ -916,11 +966,24 @@ class Scheduler:
                         f"thread {thread.name!r}"
                     )
 
-            waiter = instr.lock.acquire(core.id, granted)
+            waiter = instr.lock.acquire(core.id, granted, thread)
             if waiter is not None:
                 lock = instr.lock
                 thread.spin_cancel = (lambda: lock.cancel_waiter(waiter), instr)
+                holder = lock.holder_thread
+                if (
+                    holder is not None
+                    and holder.core_id == core.id
+                    and holder.state is TState.READY
+                    and thread.prio < holder.prio
+                ):
+                    # futile spin against a descheduled same-core holder:
+                    # inherit priority and yield (see the fast path)
+                    holder.prio_boost = thread.prio
+                    self._cancel_spin(core, thread)
         elif isinstance(instr, Release):
+            if thread.prio_boost is not None:
+                thread.prio_boost = None
             cost = instr.lock.release(core.id)
             self._resume_after(core, thread, cost)
         elif isinstance(instr, MutexAcquire):

@@ -102,6 +102,7 @@ class SimThread:
         "spin_cancel",
         "compute_event",
         "multi_flags",
+        "prio_boost",
     )
 
     def __init__(
@@ -150,6 +151,10 @@ class SimThread:
         self.compute_event = None
         #: flags this thread is registered on for a BlockOnAny wait
         self.multi_flags = None
+        #: temporary effective priority (priority inheritance): set when a
+        #: higher-priority spinner would otherwise starve this thread while
+        #: it owns a spinlock; cleared when the lock is released
+        self.prio_boost: Optional[Prio] = None
 
     @property
     def alive(self) -> bool:

@@ -30,6 +30,9 @@ def test_quick_matrix_shape(quick_report):
         "cluster_ring",
         "idle_spin",
         "idle_spin_nosummary",
+        "fault_net",
+        "fault_slowcore",
+        "fault_storm",
     ]
     assert quick_report.total_events > 0
     assert quick_report.aggregate_events_per_sec > 0
@@ -112,9 +115,12 @@ def test_matrix_specs_carry_seeds_and_names():
     assert [s.name for s in specs] == [
         "micro_local", "micro_global", "latency_mt",
         "scal_numa32", "cluster_ring", "idle_spin", "idle_spin_nosummary",
+        "fault_net", "fault_slowcore", "fault_storm",
     ]
     # the seed lives in the spec, fixed before any worker runs
-    assert [s.kwargs["seed"] for s in specs] == [7, 8, 9, 10, 11, 12, 12]
+    assert [s.kwargs["seed"] for s in specs] == [
+        7, 8, 9, 10, 11, 12, 12, 13, 14, 15,
+    ]
 
 
 def test_parallel_comparison_requires_two_workers():

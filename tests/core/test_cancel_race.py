@@ -1,0 +1,152 @@
+"""Cancellation racing in-flight execution: the resurrection bugfix.
+
+``PIOMan.cancel`` used to handle only *queued* tasks: a task already
+dequeued by a scanning core (in no list, still ``QUEUED``) or a repeat
+task mid-run returned False and — worse — the next repeat re-enqueue
+brought the task back from the dead, leaving a primed summary bit for
+work the caller believed gone.  Now an in-flight cancel marks the task
+``CANCELLED`` and every re-enqueue path (repeat requeue, the
+already-polled put-back, the pre/post-run checks in ``_run_task``)
+honors the mark instead of resurrecting it.
+
+Each test also checks the occupancy-summary invariant: a queue's summary
+bit is set iff the queue holds tasks.
+"""
+
+from repro.core.manager import PIOMan
+from repro.core.task import LTask, TaskOption, TaskState
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.threads.instructions import Compute
+from repro.threads.scheduler import Scheduler
+from repro.topology.builder import borderline
+from repro.topology.cpuset import CpuSet
+
+
+def _world(seed=3, **kw):
+    m = borderline()
+    eng = Engine()
+    sched = Scheduler(m, eng, rng=Rng(seed), true_spin=True)
+    pio = PIOMan(m, eng, sched, **kw)
+    return m, eng, sched, pio
+
+
+def _assert_summary_invariant(pio):
+    """Occupancy summary agrees with queue contents, bit for bit."""
+    board = pio.hierarchy
+    for q in board.queues():
+        has_tasks = bool(q._tasks)
+        bit_set = bool(board.summary & q._bitmask)
+        assert has_tasks == bit_set, (
+            f"{q.name}: tasks={len(q._tasks)} but summary bit "
+            f"{'set' if bit_set else 'clear'}"
+        )
+
+
+def test_cancel_mid_run_repeat_task_is_not_resurrected():
+    """A repeat task cancelled while its function is running must never
+    be re-enqueued — the exact race the fault storms fire at."""
+    m, eng, sched, pio = _world()
+    runs = []
+
+    def poll(task):
+        runs.append(eng.now)
+        return False  # never completes on its own
+
+    task = LTask(
+        poll, cpuset=CpuSet.single(1), options=TaskOption.REPEAT,
+        cost_ns=100_000, name="victim",
+    )
+
+    def body(ctx):
+        yield from pio.submit(0, task)
+        yield Compute(10)
+
+    sched.spawn(body, 0)
+    outcome = {}
+
+    def fire():
+        # 250us in: the repeat task is mid-run on core 1 (each execution
+        # spans 100us of cost, requeue gaps are nanoseconds)
+        outcome["cancelled"] = pio.cancel(task)
+        outcome["runs_at_cancel"] = len(runs)
+
+    eng.post(250_000, fire)
+    eng.run(until=3_000_000)
+    assert outcome["cancelled"] is True
+    assert task.state is TaskState.CANCELLED
+    # no executions after the cancel landed: cancelled mid-run means the
+    # in-progress execution had already been counted, nothing more
+    assert len(runs) <= outcome["runs_at_cancel"] + 1
+    # long after the cancel, the task sits in no queue and no summary bit
+    # advertises it
+    assert all(task not in q._tasks for q in pio.hierarchy.queues())
+    _assert_summary_invariant(pio)
+
+
+def test_cancel_burst_against_repeat_tasks_keeps_accounting():
+    """A burst of cancels racing several live repeat tasks: every task
+    ends DONE or CANCELLED, none keeps running, the summary stays clean."""
+    m, eng, sched, pio = _world()
+    counts = {i: 0 for i in range(4)}
+
+    def mk_poll(i, limit):
+        def poll(task):
+            counts[i] += 1
+            return counts[i] >= limit
+        return poll
+
+    tasks = [
+        LTask(
+            mk_poll(i, limit=30), cpuset=CpuSet.single(1 + i % 3),
+            options=TaskOption.REPEAT, cost_ns=50_000, name=f"v{i}",
+        )
+        for i in range(4)
+    ]
+
+    def body(ctx):
+        for t in tasks:
+            yield from pio.submit(0, t)
+        yield Compute(10)
+
+    sched.spawn(body, 0)
+    results = []
+    for k, when in enumerate((120_000, 180_000, 260_000, 410_000)):
+        eng.post(when, lambda t=tasks[k]: results.append(pio.cancel(t)))
+    eng.run(until=10_000_000)
+    for t in tasks:
+        assert t.state in (TaskState.DONE, TaskState.CANCELLED), t
+        assert all(t not in q._tasks for q in pio.hierarchy.queues())
+    # at least one cancel landed on a live task (the timings hit the run
+    # window), and none of the cancelled tasks ran to its natural limit
+    assert any(results)
+    for i, t in enumerate(tasks):
+        if t.state is TaskState.CANCELLED:
+            assert counts[i] < 30
+    _assert_summary_invariant(pio)
+
+
+def test_cancelled_task_put_back_is_dropped_not_requeued():
+    """The already-polled put-back path: a cancel landing while the task
+    is in a scanning core's hands must not re-enqueue it."""
+    m, eng, sched, pio = _world()
+    task = LTask(
+        lambda t: False, cpuset=CpuSet.single(2),
+        options=TaskOption.REPEAT, cost_ns=20_000, name="putback",
+    )
+
+    def body(ctx):
+        yield from pio.submit(0, task)
+        yield Compute(10)
+
+    sched.spawn(body, 0)
+    # fire a dense series of cancels to land in every window of the
+    # dequeue -> run -> requeue cycle; exactly one returns True
+    hits = []
+    for when in range(30_000, 300_000, 10_000):
+        eng.post(when, lambda: hits.append(pio.cancel(task)))
+    eng.run(until=3_000_000)
+    assert task.state is TaskState.CANCELLED
+    assert hits.count(True) == 1  # later cancels see CANCELLED -> False
+    assert all(task not in q._tasks for q in pio.hierarchy.queues())
+    _assert_summary_invariant(pio)

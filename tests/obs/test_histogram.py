@@ -100,9 +100,9 @@ def test_to_metrics_exposes_stable_summary_keys():
     h = Histogram()
     h.record_many(range(1, 101))
     m = h.to_metrics()
-    assert set(m) == {"count", "min", "max", "mean", "p50", "p90", "p99"}
+    assert set(m) == {"count", "min", "max", "mean", "p50", "p90", "p99", "p999"}
     assert m["count"] == 100 and m["min"] == 1 and m["max"] == 100
-    assert m["p50"] <= m["p90"] <= m["p99"] <= m["max"]
+    assert m["p50"] <= m["p90"] <= m["p99"] <= m["p999"] <= m["max"]
 
 
 def test_registry_scrapes_histogram_directly_and_nested():

@@ -58,3 +58,17 @@ def crash_once_then(value, sentinel):
 def unpicklable():
     """Returns something pickle rejects (a lambda)."""
     return lambda x: x
+
+
+def sleepy_echo(value, seconds=0.05):
+    """Sleep briefly, then return — finishes well inside any sane limit
+    (used to prove a finished job is never mislabelled a timeout)."""
+    time.sleep(seconds)
+    return value
+
+
+def sleep_then_crash(seconds=0.4, exit_code=7):
+    """Outlive the deadline, then die without reporting: the wedged-then-
+    crashed worker the crash-at-deadline terminal path is about."""
+    time.sleep(seconds)
+    os._exit(exit_code)

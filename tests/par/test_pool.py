@@ -110,6 +110,81 @@ def test_worker_timeout_is_reported_and_others_survive():
 
 
 @needs_fork
+def test_timeout_is_single_shot_even_with_retry_budget():
+    """A timeout must never be retried: the retry budget is for crashes.
+
+    Before the fix a reaped worker looked exactly like a crashed one (EOF
+    on the pipe), so a hung job with ``crash_retries=3`` got killed and
+    relaunched four times — each time with a *fresh* full time budget,
+    quadrupling the intended wall-clock limit."""
+    import time
+
+    t0 = time.monotonic()
+    specs = [
+        JobSpec("hung", f"{HELPERS}:sleepy", {"seconds": 60}, timeout_s=0.3),
+    ] + _echo_specs(1)
+    results = run_jobs(specs, jobs=2, crash_retries=3)
+    elapsed = time.monotonic() - t0
+    assert not results[0].ok
+    assert "timed out" in results[0].error or "deadline" in results[0].error
+    assert results[0].attempts == 1  # one shot, no relaunch
+    assert results[1].ok
+    assert elapsed < 5.0  # nowhere near 4 x 0.3s + reap slack per attempt
+
+
+@needs_fork
+def test_crash_at_deadline_is_terminal_not_retried():
+    """A worker that outlives its deadline and then dies is a timeout,
+    not a retryable crash — relaunching would grant a fresh budget."""
+    specs = [
+        JobSpec(
+            "wedged", f"{HELPERS}:sleep_then_crash",
+            {"seconds": 10, "exit_code": 7}, timeout_s=0.2,
+        ),
+    ] + _echo_specs(1)
+    results = run_jobs(specs, jobs=2, crash_retries=3)
+    assert not results[0].ok
+    assert results[0].attempts == 1
+    assert "timed out" in results[0].error or "deadline" in results[0].error
+    assert results[1].ok and results[1].value == 0
+
+
+@needs_fork
+def test_finished_job_is_drained_not_discarded_at_deadline(monkeypatch):
+    """A result that lands in the pipe by the deadline is a result.
+
+    Simulate a parent that never notices readiness (``wait`` always times
+    out): the only way the finished jobs can complete is the last-chance
+    ``poll()`` drain at deadline-reap time.  Before the fix they were
+    reported as timeouts with the finished value thrown away."""
+    import time
+    import types
+
+    from repro.par import pool as pool_mod
+
+    def blind_wait(conns, timeout=None):
+        # behave like a wait that never sees readiness, but don't busy-spin
+        time.sleep(0.02 if timeout is None else min(timeout, 0.02))
+        return []
+
+    # replace the pool's *module reference*, not connection.wait itself —
+    # Connection.poll() routes through the real wait and must keep working
+    monkeypatch.setattr(
+        pool_mod, "mp_connection", types.SimpleNamespace(wait=blind_wait)
+    )
+    specs = [
+        JobSpec(f"quick{i}", f"{HELPERS}:sleepy_echo",
+                {"value": i, "seconds": 0.01}, timeout_s=0.3)
+        for i in range(2)
+    ]
+    results = run_jobs(specs, jobs=2)
+    for i, r in enumerate(results):
+        assert r.ok, r.error
+        assert r.value == i
+        assert r.parallel
+
+
+@needs_fork
 def test_worker_crash_is_retried_once_then_succeeds(tmp_path):
     sentinel = tmp_path / "attempt.marker"
     specs = [
