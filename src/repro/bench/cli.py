@@ -14,6 +14,10 @@ Usage::
     python -m repro.bench table1 --metrics-out m.json --trace-out t.json
     python -m repro.bench analyze --trace t.json    # offline trace analysis
     python -m repro.bench analyze --trace t.json --analysis-out a.json
+    python -m repro.bench analyze --trace t.json --critical-path
+    python -m repro.bench diff A.json B.json        # ranked blame report
+    python -m repro.bench render --trace t.json --gantt-out g.svg
+    python -m repro.bench render --trace t.json --term
     python -m repro.bench perf                      # host events/sec matrix
     python -m repro.bench perf --quick --baseline BENCH_host_perf.json
     python -m repro.bench perf --jobs 4 --parallel-report BENCH_parallel.json
@@ -69,13 +73,105 @@ def _analyze_main(argv: Sequence[str]) -> int:
                     "cores observed)")
     ap.add_argument("--analysis-out", metavar="PATH", default=None,
                     help="also dump the analysis as JSON to PATH")
+    ap.add_argument("--scenario", default=None,
+                    help="scenario name for the meta header (default: the "
+                    "name stamped in the trace, if any)")
+    ap.add_argument("--critical-path", action="store_true",
+                    help="walk the causal edges backward from the last "
+                    "completion and print the makespan attribution")
+    ap.add_argument("--critpath-out", metavar="PATH", default=None,
+                    help="dump the critical path as JSON to PATH")
     args = ap.parse_args(argv)
-    analysis = analyze_trace_file(args.trace, ncores=args.cores, top_n=args.top)
+    analysis = analyze_trace_file(
+        args.trace, ncores=args.cores, top_n=args.top, scenario=args.scenario
+    )
     print(format_analysis(analysis))
+    if args.critical_path or args.critpath_out:
+        from repro.obs.critpath import (
+            extract_critical_path_file,
+            format_critical_path,
+        )
+
+        cp = extract_critical_path_file(args.trace)
+        print()
+        print(format_critical_path(cp))
+        if args.critpath_out:
+            with open(args.critpath_out, "w") as fh:
+                json.dump(cp.to_jsonable(), fh, indent=1)
+            print(f"\nwrote {args.critpath_out}")
     if args.analysis_out:
         with open(args.analysis_out, "w") as fh:
             json.dump(analysis.to_jsonable(), fh, indent=1)
         print(f"\nwrote {args.analysis_out}")
+    return 0
+
+
+def _diff_main(argv: Sequence[str]) -> int:
+    """The ``diff`` subcommand: ranked blame report between two documents."""
+    from repro.obs.diff import diff_files, format_diff
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench diff",
+        description="Compare two hostperf/analysis/metrics/trace JSON "
+        "documents and print a ranked blame report (worst regression "
+        "first, dominant subsystem named).",
+    )
+    ap.add_argument("a", metavar="A.json", help="baseline document")
+    ap.add_argument("b", metavar="B.json", help="new document")
+    ap.add_argument("--top", type=int, default=4,
+                    help="counters shown per entry (default 4)")
+    ap.add_argument("--json-out", metavar="PATH", default=None,
+                    help="also dump the structured diff to PATH")
+    args = ap.parse_args(argv)
+    try:
+        report = diff_files(args.a, args.b)
+    except ValueError as exc:
+        print(f"diff failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_diff(report, top_items=args.top))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_jsonable(), fh, indent=1)
+        print(f"\nwrote {args.json_out}")
+    return 0
+
+
+def _render_main(argv: Sequence[str]) -> int:
+    """The ``render`` subcommand: Gantt/utilization charts over a trace."""
+    from repro.obs.critpath import extract_critical_path
+    from repro.obs.gantt import render_gantt_svg, render_gantt_term
+
+    ap = argparse.ArgumentParser(
+        prog="repro-bench render",
+        description="Render a --trace-out JSON file as a Gantt chart: "
+        "per-core lanes, task slices colored by state, critical path "
+        "overlaid (SVG via --gantt-out, terminal via --term).",
+    )
+    ap.add_argument("--trace", metavar="PATH", required=True,
+                    help="Chrome-trace JSON written by --trace-out")
+    ap.add_argument("--gantt-out", metavar="PATH", default=None,
+                    help="write an SVG Gantt chart to PATH")
+    ap.add_argument("--term", action="store_true",
+                    help="print a block-character chart to stdout "
+                    "(default when no --gantt-out is given)")
+    ap.add_argument("--width", type=int, default=1000,
+                    help="SVG width in px (default 1000)")
+    ap.add_argument("--term-width", type=int, default=72,
+                    help="terminal chart columns (default 72)")
+    ap.add_argument("--title", default="", help="SVG title line")
+    args = ap.parse_args(argv)
+    with open(args.trace) as fh:
+        doc = json.load(fh)
+    cp = extract_critical_path(doc)
+    if args.gantt_out:
+        svg = render_gantt_svg(
+            doc, critical_path=cp, width=args.width, title=args.title
+        )
+        with open(args.gantt_out, "w") as fh:
+            fh.write(svg)
+        print(f"wrote {args.gantt_out}")
+    if args.term or not args.gantt_out:
+        print(render_gantt_term(doc, critical_path=cp, width=args.term_width))
     return 0
 
 
@@ -137,6 +233,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "analyze":
         return _analyze_main(list(argv[1:]))
+    if argv and argv[0] == "diff":
+        return _diff_main(list(argv[1:]))
+    if argv and argv[0] == "render":
+        return _render_main(list(argv[1:]))
     if argv and argv[0] == "perf":
         from repro.bench.hostperf import main as perf_main
 

@@ -966,6 +966,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         if failures:
             for f in failures:
                 print(f"PERF REGRESSION: {f}", file=sys.stderr)
+            # Attribution instead of a bare ratio: diff this run against
+            # the baseline so the gate failure names what moved.
+            try:
+                from repro.obs.diff import diff_docs, format_diff
+
+                with open(args.baseline) as fh:
+                    base_doc = json.load(fh)
+                new_doc = report_to_jsonable(
+                    report, quick=args.quick, seed=args.seed
+                )
+                print("\nregression blame (bench diff vs baseline):")
+                print(format_diff(diff_docs(base_doc, new_doc)))
+            except Exception as exc:  # blame is best-effort on a failing gate
+                print(f"(blame report unavailable: {exc})", file=sys.stderr)
             return 1
         print(f"perf check ok vs {args.baseline} "
               f"(max regression {args.max_regression}x)")

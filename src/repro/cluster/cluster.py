@@ -64,6 +64,8 @@ class Node:
         self.nics: list[Nic] = [
             fabric.new_nic(node_id, drv, index=i) for i, drv in enumerate(drivers)
         ]
+        for nic in self.nics:
+            nic.tracer = tracer
         if registry is not None:
             for nic in self.nics:
                 registry.register(f"nic.{nic.name}", nic.stats)

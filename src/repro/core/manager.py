@@ -151,9 +151,11 @@ class PIOMan:
                 ]
             )
         # Locks report contended handoffs onto the same trace stream, so
-        # the analyzer can line contention intervals up with task slices.
+        # the analyzer can line contention intervals up with task slices;
+        # queues add the submit->enqueue causal edge.
         for queue in self.hierarchy.queues():
             queue.lock.tracer = tracer
+            queue.tracer = tracer
         if registry is not None:
             registry.register(name, self.stats)
             registry.register(f"{name}.shares", self.execution_shares)
@@ -203,7 +205,10 @@ class PIOMan:
         if self.scheduler is not None:
             # Only cores that may run the task spin on its queue.
             ringable = task.cpuset & queue.node.cpuset
-            self.scheduler.ring_cpuset(ringable, core)
+            cause = None
+            if self.tracer.enabled and task.name:
+                cause = (f"T:{task.name}/enq", self.engine.now)
+            self.scheduler.ring_cpuset(ringable, core, cause=cause)
         return task
 
     def submit_nowait(self, core: int, task: LTask) -> LTask:
@@ -232,7 +237,10 @@ class PIOMan:
             )
         if self.scheduler is not None:
             ringable = task.cpuset & queue.node.cpuset
-            self.scheduler.ring_cpuset(ringable, core)
+            cause = None
+            if self.tracer.enabled and task.name:
+                cause = (f"T:{task.name}/enq", self.engine.now)
+            self.scheduler.ring_cpuset(ringable, core, cause=cause)
         return task
 
     def submit_preemptive(self, core: int, task: LTask) -> Generator[Instr, Any, LTask]:
@@ -447,13 +455,39 @@ class PIOMan:
             # First poll of this submission: close the queue-wait span.
             first = task.first_polled_at if task.first_polled_at is not None else t0
             self.latency.queue_wait.record(first - task.submit_time)
+        tracer = self.tracer
+        run_node = None
+        if tracer.enabled and task.name:
+            run_node = f"T:{task.name}/run{task.executions}"
+            if task.executions == 0 and task.submit_time is not None:
+                enq = task.enqueued_at if task.enqueued_at is not None else task.submit_time
+                tracer.edge(t0, f"core{core}", "queue_wait",
+                            f"T:{task.name}/enq", run_node, enq, queue=queue.name)
+            elif task.trace_prev_run is not None:
+                # repeat task: chain this poll to the previous one
+                prev = task.trace_prev_run
+                tracer.edge(t0, f"core{core}", "poll", prev[0], run_node, prev[1],
+                            queue=queue.name)
+            if self.scheduler is not None:
+                cs = self.scheduler.cores[core]
+                if cs.last_wake is not None:
+                    wake, wake_ns = cs.last_wake
+                    cs.last_wake = None
+                    tracer.edge(t0, f"core{core}", "dispatch", wake, run_node, wake_ns)
         yield Compute(spec.task_run_ns + task.cost_ns)
         if task.state is TaskState.CANCELLED:
             # A cancel landed between our dequeue and the execution (the
             # task was in flight, in no queue): honor it — running the
             # function or re-enqueueing now would resurrect the task.
             return True
-        complete = task.run(core)
+        if run_node is not None:
+            # Causal context for host-instant work the function triggers
+            # (NIC posts, CQ handlers); cleared before anything can yield.
+            tracer.cursor = run_node
+            complete = task.run(core)
+            tracer.cursor = None
+        else:
+            complete = task.run(core)
         self.stats.note_exec(core)
         if task.repeat and not complete:
             if task.state is TaskState.CANCELLED:
@@ -467,6 +501,8 @@ class PIOMan:
                     phase="run", task=task.name, queue=queue.name, core=core,
                     start=t0, complete=False,
                 )
+                if run_node is not None:
+                    task.trace_prev_run = (run_node, self.engine.now)
             yield from queue.enqueue(core, task)
             return False
         task.state = TaskState.DONE
@@ -484,6 +520,11 @@ class PIOMan:
                 phase="run", task=task.name, queue=queue.name, core=core,
                 start=t0, complete=True,
             )
+            if run_node is not None:
+                self.tracer.edge(
+                    self.engine.now, f"core{core}", "compute",
+                    run_node, f"T:{task.name}/done", t0, queue=queue.name,
+                )
         return True
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.mem.cacheline import CacheLine, MemStats
 from repro.obs.histogram import Histogram
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.sync.spinlock import SpinLock
 from repro.sync.stats import LockStats
 from repro.threads.instructions import Acquire, Compute, Instr, Release
@@ -92,6 +93,9 @@ class TaskQueue:
         self.state_line = CacheLine(machine, home=home, name=f"state:{self.name}", stats=mem_stats)
         self._tasks: deque[LTask] = deque()
         self.stats = QueueStats()
+        #: wired by the manager alongside ``lock.tracer``; emits the
+        #: submit->enqueue causal edge (zero work while disabled)
+        self.tracer: Tracer = NULL_TRACER
         # Invalidation-propagation state: a core reading within one line
         # transfer of the last emptiness *transition* still sees its stale
         # cached copy (the invalidate has not reached it yet).  The stale
@@ -251,6 +255,8 @@ class TaskQueue:
         self.stats.enqueues += 1
         if len(self._tasks) > self.stats.max_len:
             self.stats.max_len = len(self._tasks)
+        if self.tracer.enabled:
+            self._trace_enqueue(core, task)
         yield self._release()
 
     def enqueue_nowait(self, core: int, task: LTask) -> None:
@@ -275,6 +281,20 @@ class TaskQueue:
         self.stats.enqueues += 1
         if len(self._tasks) > self.stats.max_len:
             self.stats.max_len = len(self._tasks)
+        if self.tracer.enabled:
+            self._trace_enqueue(core, task)
+
+    def _trace_enqueue(self, core: int, task: LTask) -> None:
+        """Causal edge for a *first* enqueue: ``T:<t>/sub -> T:<t>/enq``.
+
+        Repeat re-enqueues are chained by the runner's poll edge instead
+        (``first_polled_at`` is set once a core has picked the task up)."""
+        if task.name and task.submit_time is not None and task.first_polled_at is None:
+            self.tracer.edge(
+                task.enqueued_at, f"core{core}", "submit",
+                f"T:{task.name}/sub", f"T:{task.name}/enq",
+                task.submit_time, queue=self.name,
+            )
 
     def get_task(self, core: int) -> Generator[Instr, Any, Optional[LTask]]:
         """Algorithm 2: double-checked dequeue."""

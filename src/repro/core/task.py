@@ -69,6 +69,7 @@ class LTask:
         "current_core",
         "enqueued_at",
         "first_polled_at",
+        "trace_prev_run",
     )
 
     def __init__(
@@ -111,6 +112,9 @@ class LTask:
         self.enqueued_at: Optional[int] = None
         #: when a core first picked the task up (queue-wait span end)
         self.first_polled_at: Optional[int] = None
+        #: causal-trace chaining for repeat tasks: ``(run_node, end_ns)``
+        #: of the previous poll (assigned only while tracing is enabled)
+        self.trace_prev_run: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # lifecycle spans
@@ -179,6 +183,7 @@ class LTask:
         self.complete_time = None
         self.enqueued_at = None
         self.first_polled_at = None
+        self.trace_prev_run = None
 
     def __repr__(self) -> str:
         return (

@@ -190,10 +190,25 @@ class FaultInjector:
         nic.stats.retransmits += 1
         self.stats.retransmits += 1
         if self.tracer.enabled:
+            now = nic.fabric.engine.now
             self.tracer.emit(
-                nic.fabric.engine.now, "fault", nic.name,
+                now, "fault", nic.name,
                 f"retransmit {frame.kind}", phase="fault", fault="retransmit",
             )
+            if frame.trace_tx is not None:
+                # Edge from the lost post to the timeout firing, then make
+                # the retransmit node the causal cursor so the re-post's
+                # own edge chains off it.
+                retx = f"F:{frame.trace_fid}/retx{frame.trace_txn}"
+                self.tracer.edge(now, nic.name, "retransmit",
+                                 frame.trace_tx, retx, frame.trace_tx_time)
+                prev = self.tracer.cursor
+                self.tracer.cursor = retx
+                try:
+                    nic.post_send(frame)
+                finally:
+                    self.tracer.cursor = prev
+                return
         nic.post_send(frame)
 
     # ------------------------------------------------------------------

@@ -27,6 +27,15 @@ class Frame:
     #: filled by the fabric on delivery
     sent_at: Optional[int] = None
     delivered_at: Optional[int] = None
+    #: causal-trace annotations (assigned only while tracing is enabled;
+    #: ids are deterministic per-NIC counters so parallel/serial traces
+    #: stay byte-identical — never host object ids)
+    trace_fid: Optional[str] = None
+    trace_txn: int = 0
+    trace_tx: Optional[str] = None
+    trace_tx_time: int = 0
+    trace_rx: Optional[str] = None
+    trace_rx_time: int = 0
 
     def __repr__(self) -> str:
         return (

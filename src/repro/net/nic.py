@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.net.driver import DriverSpec
 from repro.net.frame import Completion, Frame
+from repro.sim.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.fabric import Fabric
@@ -79,6 +80,10 @@ class Nic:
         self.on_cq_write: Optional[Callable[["Nic", Completion], None]] = None
         #: fault injector (repro.faults); None = lossless wire, zero cost
         self.faults = None
+        #: causal-edge tracer (wired by the cluster; zero work disabled)
+        self.tracer: Tracer = NULL_TRACER
+        #: deterministic per-NIC frame-id counter for trace node ids
+        self._trace_seq = 0
 
     # ------------------------------------------------------------------
     # transmit path
@@ -102,6 +107,20 @@ class Nic:
         frame.sent_at = eng.now
         self.stats.frames_sent += 1
         self.stats.bytes_sent += frame.size_bytes
+        tracer = self.tracer
+        if tracer.enabled:
+            # Tag the frame with this post's trace node before the fault
+            # layer sees it (a drop's retransmit edge points back here).
+            if frame.trace_fid is None:
+                self._trace_seq += 1
+                frame.trace_fid = f"{self.name}#{self._trace_seq}"
+            txn = frame.trace_txn
+            frame.trace_txn = txn + 1
+            tx = f"F:{frame.trace_fid}/tx{txn}"
+            if tracer.cursor is not None:
+                tracer.edge(eng.now, self.name, "post", tracer.cursor, tx, eng.now)
+            frame.trace_tx = tx
+            frame.trace_tx_time = eng.now
         faults = self.faults
         if faults is None:
             self.fabric.deliver(self, frame, arrive)
@@ -149,9 +168,16 @@ class Nic:
     # ------------------------------------------------------------------
     def _deliver(self, frame: Frame) -> None:
         """Called by the fabric when a frame arrives."""
-        frame.delivered_at = self.fabric.engine.now
+        now = self.fabric.engine.now
+        frame.delivered_at = now
         self.stats.frames_recv += 1
         self.stats.bytes_recv += frame.size_bytes
+        tracer = self.tracer
+        if tracer.enabled and frame.trace_tx is not None:
+            rx = f"F:{frame.trace_fid}/rx{frame.trace_txn}"
+            frame.trace_rx = rx
+            frame.trace_rx_time = now
+            tracer.edge(now, self.name, "nic", frame.trace_tx, rx, frame.trace_tx_time)
         self._complete(Completion(kind="recv", frame=frame))
 
     def _complete(self, comp: Completion) -> None:

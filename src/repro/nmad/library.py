@@ -443,8 +443,15 @@ class NMad:
         if self._poll_cpuset is None:
             return
         origin = self._poll_cpuset.first()
+        cause = None
+        if (
+            self.tracer.enabled
+            and comp.frame is not None
+            and comp.frame.trace_rx is not None
+        ):
+            cause = (comp.frame.trace_rx, comp.frame.trace_rx_time)
         self.scheduler.ring_cpuset(
-            self._poll_cpuset, origin, extra_ns=nic.driver.poll_cost_ns
+            self._poll_cpuset, origin, extra_ns=nic.driver.poll_cost_ns, cause=cause
         )
 
     # ------------------------------------------------------------------
@@ -457,6 +464,14 @@ class NMad:
             return  # nmad's rendezvous never uses RDMA reads
         frame = comp.frame
         assert frame is not None
+        tracer = self.tracer
+        if tracer.enabled and tracer.cursor is not None and frame.trace_rx is not None:
+            # The delivered frame is what this poll run is reacting to:
+            # edge from the wire arrival into the current run node.
+            tracer.edge(
+                self.engine.now, f"node{self.node.id}", "wakeup",
+                frame.trace_rx, tracer.cursor, frame.trace_rx_time,
+            )
         if frame.kind == "pack":
             for sub in frame.meta["subs"]:
                 self._dispatch_msg(core, sub)

@@ -20,6 +20,13 @@ Complementary views of one simulation run:
   :func:`merge_trace_docs` — order-independent folding of per-job
   snapshots and trace documents from ``repro.par`` fan-out runs back
   into one canonical artifact.
+* :func:`extract_critical_path` / :func:`format_critical_path` — walk
+  the causal edges backward from the last completion and attribute the
+  makespan to subsystems and topology levels.
+* :func:`diff_docs` / :func:`format_diff` — ranked blame report between
+  two hostperf/analysis/metrics documents (``bench diff``).
+* :func:`render_gantt_svg` / :func:`render_gantt_term` — dependency-free
+  Gantt/utilization charts with the critical path overlaid.
 
 All are wired through the bench CLI (``--metrics-out`` / ``--trace-out`` /
 ``analyze``) so every benchmark run can emit and inspect its internals
@@ -33,20 +40,43 @@ from repro.obs.analyze import (
     format_analysis,
 )
 from repro.obs.chrometrace import chrome_trace, write_chrome_trace
+from repro.obs.critpath import (
+    CriticalPath,
+    extract_critical_path,
+    extract_critical_path_file,
+    format_critical_path,
+)
+from repro.obs.diff import DiffReport, diff_docs, diff_files, format_diff
+from repro.obs.gantt import (
+    render_gantt_svg,
+    render_gantt_term,
+    write_gantt_svg,
+)
 from repro.obs.histogram import Histogram
 from repro.obs.merge import merge_snapshots, merge_trace_docs, sum_snapshots
 from repro.obs.registry import MetricsRegistry
 
 __all__ = [
+    "CriticalPath",
+    "DiffReport",
     "Histogram",
     "MetricsRegistry",
     "TraceAnalysis",
     "analyze_trace",
     "analyze_trace_file",
     "chrome_trace",
+    "diff_docs",
+    "diff_files",
+    "extract_critical_path",
+    "extract_critical_path_file",
     "format_analysis",
+    "format_critical_path",
+    "format_diff",
     "merge_snapshots",
     "merge_trace_docs",
+    "render_gantt_svg",
+    "render_gantt_term",
     "sum_snapshots",
     "write_chrome_trace",
+    "write_gantt_svg",
 ]

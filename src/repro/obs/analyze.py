@@ -98,6 +98,22 @@ class _FaultEvent:
     time: int
 
 
+@dataclass
+class _Edge:
+    """One causal edge ``cause -> effect`` spanning ``[start, end]``.
+
+    Emitted by the instrumented subsystems via :meth:`Tracer.edge`;
+    consumed by :mod:`repro.obs.critpath` to extract the critical path.
+    """
+
+    kind: str
+    cause: str
+    effect: str
+    start: int
+    end: int
+    queue: str = ""
+
+
 # ---------------------------------------------------------------------------
 # analysis result
 # ---------------------------------------------------------------------------
@@ -192,6 +208,10 @@ class TraceAnalysis:
     #: injected-fault events seen on the trace, and per-kind tail impact
     fault_events: int = 0
     faults: list[FaultImpact] = field(default_factory=list)
+    #: top-line header (makespan ns, total trace events, events per
+    #: simulated second, scenario name when known) — the stable surface
+    #: ``bench diff`` attributes against
+    meta: dict = field(default_factory=dict)
 
     @property
     def span_ns(self) -> int:
@@ -217,15 +237,28 @@ class TraceAnalysis:
 # ---------------------------------------------------------------------------
 def _events_from_tracer(
     tracer,
-) -> tuple[list[_Run], list[_Submit], list[_LockWait], list[_FaultEvent]]:
+) -> tuple[list[_Run], list[_Submit], list[_LockWait], list[_FaultEvent], list[_Edge]]:
     runs: list[_Run] = []
     submits: list[_Submit] = []
     locks: list[_LockWait] = []
     faults: list[_FaultEvent] = []
+    edges: list[_Edge] = []
     for rec in tracer.records:
         data = rec.data or {}
         phase = data.get("phase")
-        if phase == "run" and "start" in data:
+        if phase == "edge":
+            end = rec.time
+            edges.append(
+                _Edge(
+                    kind=str(data.get("edge", "")),
+                    cause=str(data.get("cause", "")),
+                    effect=str(data.get("effect", "")),
+                    start=min(int(data.get("start", end)), end),
+                    end=end,
+                    queue=str(data.get("queue", "")),
+                )
+            )
+        elif phase == "run" and "start" in data:
             start = min(data["start"], rec.time)
             runs.append(
                 _Run(
@@ -261,16 +294,17 @@ def _events_from_tracer(
             faults.append(
                 _FaultEvent(kind=str(data.get("fault", "unknown")), time=rec.time)
             )
-    return runs, submits, locks, faults
+    return runs, submits, locks, faults, edges
 
 
 def _events_from_doc(
     doc: dict,
-) -> tuple[list[_Run], list[_Submit], list[_LockWait], list[_FaultEvent]]:
+) -> tuple[list[_Run], list[_Submit], list[_LockWait], list[_FaultEvent], list[_Edge]]:
     runs: list[_Run] = []
     submits: list[_Submit] = []
     locks: list[_LockWait] = []
     faults: list[_FaultEvent] = []
+    edges: list[_Edge] = []
     for ev in doc.get("traceEvents", ()):
         ph = ev.get("ph")
         args = ev.get("args") or {}
@@ -288,7 +322,18 @@ def _events_from_doc(
             )
         elif ph == "i":
             t = int(round(ev.get("ts", 0) * 1000))
-            if "fault" in args:
+            if "edge" in args:
+                edges.append(
+                    _Edge(
+                        kind=str(args.get("edge", "")),
+                        cause=str(args.get("cause", "")),
+                        effect=str(args.get("effect", "")),
+                        start=min(int(args.get("start", t)), t),
+                        end=t,
+                        queue=str(args.get("queue", "")),
+                    )
+                )
+            elif "fault" in args:
                 faults.append(
                     _FaultEvent(kind=str(args.get("fault", "unknown")), time=t)
                 )
@@ -315,7 +360,7 @@ def _events_from_doc(
                         time=t,
                     )
                 )
-    return runs, submits, locks, faults
+    return runs, submits, locks, faults, edges
 
 
 # ---------------------------------------------------------------------------
@@ -325,22 +370,34 @@ TraceSource = Union["Tracer", dict]  # noqa: F821 - Tracer duck-typed
 
 
 def analyze_trace(
-    source: TraceSource, *, ncores: Optional[int] = None, top_n: int = 10
+    source: TraceSource,
+    *,
+    ncores: Optional[int] = None,
+    top_n: int = 10,
+    scenario: Optional[str] = None,
 ) -> TraceAnalysis:
     """Analyze a live ``Tracer`` or a loaded Chrome-trace document.
 
     ``ncores`` forces the per-core report to cover cores that emitted no
     events (an idle core is a result, not a gap); when the source is a
     ``--trace-out`` file written by the bench CLI, the core count stamped
-    into ``otherData`` is used automatically.
+    into ``otherData`` is used automatically.  ``scenario`` names the run
+    in the ``meta`` header (falls back to ``otherData.scenario``).
     """
     if hasattr(source, "records"):
-        runs, submits, locks, faults = _events_from_tracer(source)
+        runs, submits, locks, faults, edges = _events_from_tracer(source)
+        total_events = len(source.records)
     else:
-        runs, submits, locks, faults = _events_from_doc(source)
+        runs, submits, locks, faults, edges = _events_from_doc(source)
+        total_events = sum(
+            1 for ev in source.get("traceEvents", ()) if ev.get("ph") != "M"
+        )
+        other = source.get("otherData") or {}
         if ncores is None:
-            meta_n = (source.get("otherData") or {}).get("ncores")
+            meta_n = other.get("ncores")
             ncores = int(meta_n) if meta_n else None
+        if scenario is None:
+            scenario = other.get("scenario") or None
 
     out = TraceAnalysis(submits=len(submits), runs=len(runs))
     out.fault_events = len(faults)
@@ -351,10 +408,20 @@ def analyze_trace(
         + [lk.start for lk in locks]
         + [lk.end for lk in locks]
         + [f.time for f in faults]
+        + [e.start for e in edges]
+        + [e.end for e in edges]
     )
     if times:
         out.t_start, out.t_end = min(times), max(times)
     span = out.span_ns  # 0 on empty/degenerate traces: report n/a, not 0%
+    out.meta = {
+        "makespan_ns": span,
+        "events": total_events,
+        "events_per_sec": (
+            round(total_events / (span / 1e9), 1) if span > 0 else None
+        ),
+        "scenario": scenario,
+    }
 
     # -- per-core busy/idle utilization --------------------------------
     max_core = max(
@@ -488,12 +555,16 @@ def analyze_trace(
 
 
 def analyze_trace_file(
-    path: str, *, ncores: Optional[int] = None, top_n: int = 10
+    path: str,
+    *,
+    ncores: Optional[int] = None,
+    top_n: int = 10,
+    scenario: Optional[str] = None,
 ) -> TraceAnalysis:
     """Load a ``--trace-out`` JSON file and analyze it."""
     with open(path) as fh:
         doc = json.load(fh)
-    return analyze_trace(doc, ncores=ncores, top_n=top_n)
+    return analyze_trace(doc, ncores=ncores, top_n=top_n, scenario=scenario)
 
 
 # ---------------------------------------------------------------------------
@@ -513,6 +584,15 @@ def format_analysis(a: TraceAnalysis) -> str:
         f"== trace analysis: span {a.span_ns} ns, {a.submits} submits, "
         f"{a.runs} runs, {a.completions} completions =="
     ]
+    if a.meta:
+        eps = a.meta.get("events_per_sec")
+        scen = a.meta.get("scenario")
+        lines.append(
+            f"   meta: makespan={a.meta.get('makespan_ns', a.span_ns)} ns  "
+            f"events={a.meta.get('events', 0)}  "
+            f"events/sim-sec={'n/a' if eps is None else f'{eps:g}'}"
+            + (f"  scenario={scen}" if scen else "")
+        )
     if a.unmatched_submits:
         lines.append(f"   ({a.unmatched_submits} submits had no run slice)")
     lines.append(

@@ -35,6 +35,12 @@ class Tracer:
         self.limit = limit
         self.records: list[TraceRecord] = []
         self.dropped = 0
+        #: Causal context: the node id (see ``repro.obs.critpath``) of the
+        #: activity currently executing on the host call stack — set by the
+        #: task runner around ``task.run`` so host-instant work it triggers
+        #: (a NIC post, a CQ handler) can attach a cause edge.  Only ever
+        #: written under an ``enabled`` guard.
+        self.cursor: Optional[str] = None
 
     def emit(
         self,
@@ -51,6 +57,31 @@ class Tracer:
             self.dropped += 1
             return
         self.records.append(TraceRecord(time, category, actor, message, data or None))
+
+    def edge(
+        self,
+        time: int,
+        actor: str,
+        kind: str,
+        cause: str,
+        effect: str,
+        start: int,
+        **extra: Any,
+    ) -> None:
+        """Record one causal edge ``cause -> effect``.
+
+        ``start`` is the cause's timestamp; ``time`` the effect's, so the
+        edge spans the interval ``[start, time]``.  Edges share the record
+        stream (category ``"edge"``, ``phase="edge"``) and export through
+        the Chrome-trace path as instants, which keeps them merge- and
+        analyze-compatible.  ``repro.obs.critpath`` walks them backward
+        from the last completion to extract the critical path.
+        """
+        self.emit(
+            time, "edge", actor, f"edge:{kind} {cause} -> {effect}",
+            phase="edge", edge=kind, cause=cause, effect=effect,
+            start=start, **extra,
+        )
 
     def select(self, *categories: str) -> list[TraceRecord]:
         """All records whose category is one of ``categories``."""
@@ -87,6 +118,7 @@ class _NullTracer(Tracer):
         self.limit = None
         self.records = []
         self.dropped = 0
+        self.cursor = None
 
     @property
     def enabled(self) -> bool:

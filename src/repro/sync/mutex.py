@@ -115,6 +115,12 @@ class Mutex:
                 phase="lock", lock=self.name or "mutex", core=waiter.core_id,
                 wait_ns=wait_ns, start=t_enq,
             )
+            lk = self.name or "mutex"
+            self.tracer.edge(
+                grant_time, f"core{waiter.core_id}", "lock_wait",
+                f"K:{lk}/req@{t_enq}", f"K:{lk}/grant@{grant_time}",
+                t_enq,
+            )
         # The scheduler charges the context-switch cost when re-dispatching.
         self.engine.post(delay, waiter.scheduler.wake, waiter)
         return cost

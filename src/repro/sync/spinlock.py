@@ -227,6 +227,12 @@ class SpinLock:
                 phase="lock", lock=self.name or "spinlock", core=winner.core,
                 wait_ns=spin_ns, start=winner.enqueue_time,
             )
+            lk = self.name or "spinlock"
+            self.tracer.edge(
+                grant_time, f"core{winner.core}", "lock_wait",
+                f"K:{lk}/req@{winner.enqueue_time}", f"K:{lk}/grant@{grant_time}",
+                winner.enqueue_time,
+            )
         self.engine.post(delay, winner.grant_cb)
         return cost
 

@@ -101,6 +101,7 @@ class CoreState:
         "keypoint_counts",
         "preempt_pending",
         "backoff_streak",
+        "last_wake",
     )
 
     def __init__(self, core_id: int) -> None:
@@ -119,6 +120,10 @@ class CoreState:
         self.preempt_pending = False
         #: consecutive no-progress idle passes (adaptive backoff input)
         self.backoff_streak = 0
+        #: causal-trace context: ``(wake_node, wake_ns)`` of the doorbell
+        #: that last woke this core's idle loop, consumed by the task
+        #: runner's dispatch edge (assigned only while tracing is enabled)
+        self.last_wake: Optional[tuple] = None
 
 
 class Scheduler:
@@ -345,7 +350,9 @@ class Scheduler:
     # ------------------------------------------------------------------
     # doorbells
     # ------------------------------------------------------------------
-    def ring_doorbell(self, core_id: int, from_core: int, extra_ns: int = 0) -> None:
+    def ring_doorbell(
+        self, core_id: int, from_core: int, extra_ns: int = 0, cause=None
+    ) -> None:
         """Wake ``core_id``'s idle loop as its next poll probe would land.
 
         A continuously-spinning core re-probes every ``probe_cycle_ns``;
@@ -353,15 +360,22 @@ class Scheduler:
         that cycle, plus the line-transfer distance from the writer.  The
         random phase is what lets equidistant cores race in varying order
         (and is the source of the contention storms the paper measures on
-        the global queue)."""
+        the global queue).
+
+        ``cause`` is an optional ``(node_id, cause_ns)`` causal-trace
+        origin carried to the arrival; when it is None the posted event is
+        identical to the untraced one."""
         phase = self.rng.uniform(0.0, float(self.machine.spec.probe_cycle_ns))
         # A probe cannot observe the write before the invalidation reaches
         # this core: the ring lands no earlier than that propagation
         # (``notice`` is the precomputed max of transfer and invalidation).
         delay = int(phase) + self.machine.notice(from_core, core_id) + extra_ns
-        self.engine.post(delay, self._ring_arrive, core_id)
+        if cause is None:
+            self.engine.post(delay, self._ring_arrive, core_id)
+        else:
+            self.engine.post(delay, self._ring_arrive, core_id, cause)
 
-    def ring_cpuset(self, cpuset, from_core: int, extra_ns: int = 0) -> None:
+    def ring_cpuset(self, cpuset, from_core: int, extra_ns: int = 0, cause=None) -> None:
         """Ring every core in a CPU set (used on task submission)."""
         cores = self._ring_sets.get(cpuset.mask)
         if cores is None:
@@ -369,9 +383,9 @@ class Scheduler:
             cores = tuple(c for c in cpuset if c < ncores)
             self._ring_sets[cpuset.mask] = cores
         for c in cores:
-            self.ring_doorbell(c, from_core, extra_ns)
+            self.ring_doorbell(c, from_core, extra_ns, cause)
 
-    def _ring_arrive(self, core_id: int) -> None:
+    def _ring_arrive(self, core_id: int, cause=None) -> None:
         core = self.cores[core_id]
         # a doorbell means work may be visible: reset the backoff streak
         # even if the idle thread is mid-pass (true_spin) or already awake
@@ -382,6 +396,11 @@ class Scheduler:
         if idle.sleep_event is not None:
             idle.sleep_event.cancel()
             idle.sleep_event = None
+        if cause is not None and self.tracer.enabled:
+            now = self.engine.now
+            wake = f"C:{self.name}.{core_id}/wake@{now}"
+            core.last_wake = (wake, now)
+            self.tracer.edge(now, f"core{core_id}", "wakeup", cause[0], wake, cause[1])
         self.wake(idle)
 
     # ------------------------------------------------------------------

@@ -168,3 +168,80 @@ def test_cli_analyze_subcommand(tmp_path, capsys):
     # the file-loading path agrees with the CLI output
     again = analyze_trace_file(str(t_out))
     assert again.submits == doc["submits"]
+
+
+def test_meta_header_in_text_and_json():
+    tr = _synthetic_tracer()
+    a = analyze_trace(tr, scenario="unit")
+    assert a.meta["makespan_ns"] == a.span_ns == 4000
+    assert a.meta["events"] == len(tr.records) == 3
+    # 3 events over 4000 ns of virtual time
+    assert a.meta["events_per_sec"] == pytest.approx(3 / 4e-6, rel=0.01)
+    assert a.meta["scenario"] == "unit"
+    text = format_analysis(a)
+    meta_line = next(ln for ln in text.splitlines() if "meta:" in ln)
+    assert "makespan=4000 ns" in meta_line
+    assert "events=3" in meta_line
+    assert "scenario=unit" in meta_line
+    assert a.to_jsonable()["meta"] == a.meta
+
+
+def test_meta_scenario_read_from_doc_otherdata():
+    doc = chrome_trace(_synthetic_tracer(), meta={"ncores": 2,
+                                                  "scenario": "from_doc"})
+    a = analyze_trace(doc)
+    assert a.meta["scenario"] == "from_doc"
+    # an explicit argument wins over the recorded name
+    assert analyze_trace(doc, scenario="override").meta["scenario"] == "override"
+
+
+def test_format_empty_trace_meta_is_na():
+    a = analyze_trace(Tracer(enabled=True))
+    assert a.meta["makespan_ns"] == 0
+    assert a.meta["events"] == 0
+    assert a.meta["events_per_sec"] is None
+    text = format_analysis(a)
+    meta_line = next(ln for ln in text.splitlines() if "meta:" in ln)
+    assert "events/sim-sec=n/a" in meta_line
+    assert "scenario=" not in meta_line
+
+
+def test_format_fault_only_trace():
+    """Fault events but no completions: section appears, nothing crashes."""
+    tr = Tracer(enabled=True)
+    tr.emit(500, "faults", "net", "drop frame", phase="fault", fault="drop")
+    tr.emit(900, "faults", "net", "retransmit", phase="fault",
+            fault="retransmit")
+    a = analyze_trace(tr)
+    assert a.fault_events == 2
+    assert [fi.kind for fi in a.faults] == ["drop", "retransmit"]
+    assert all(fi.impacted_tasks == 0 and fi.tail_ratio is None
+               for fi in a.faults)
+    text = format_analysis(a)
+    assert "== injected-fault tail impact ==" in text
+    assert "drop" in text and "retransmit" in text
+    assert "n/a" in text  # percentiles have no completions to draw from
+
+
+def test_format_fault_impact_renders_p999():
+    tr = _synthetic_tracer()
+    tr.emit(1500, "faults", "net", "drop frame", phase="fault", fault="drop")
+    a = analyze_trace(tr)
+    (fi,) = a.faults
+    assert fi.kind == "drop" and fi.impacted_tasks >= 1
+    text = format_analysis(a)
+    assert "p999" in text and "drop" in text
+
+
+def test_format_single_core_trace():
+    tr = Tracer(enabled=True)
+    tr.emit(100, "pioman", "core0", "submit solo -> q:core#0",
+            phase="submit", task="solo", queue="q:core#0", core=0)
+    tr.emit(800, "pioman", "core0", "completed solo", phase="run",
+            task="solo", queue="q:core#0", core=0, start=300, complete=True)
+    a = analyze_trace(tr)
+    assert len(a.cores) == 1
+    assert a.cores[0].utilization == pytest.approx(500 / 700)
+    text = format_analysis(a)
+    assert "core0" in text and "core1" not in text
+    assert "level=core" in text or "core " in text

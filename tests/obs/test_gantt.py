@@ -1,0 +1,120 @@
+"""Gantt rendering: SVG structure, terminal chart shape, CLI wiring."""
+
+import json
+
+from repro.bench.cli import main as bench_main
+from repro.obs import (
+    chrome_trace,
+    extract_critical_path,
+    render_gantt_svg,
+    render_gantt_term,
+    write_gantt_svg,
+)
+from repro.sim.trace import Tracer
+
+
+def _tracer() -> Tracer:
+    """Two cores, a completing run, a repeat poll, a fault, one edge chain."""
+    tr = Tracer(enabled=True)
+    tr.emit(1000, "pioman", "core0", "submit t -> q:machine",
+            phase="submit", task="t", queue="q:machine", core=0)
+    tr.emit(3000, "pioman", "core0", "polled u", phase="run", task="u",
+            queue="q:machine", core=0, start=2500, complete=False)
+    tr.emit(6000, "pioman", "core1", "completed t", phase="run", task="t",
+            queue="q:machine", core=1, start=2000, complete=True)
+    tr.emit(4200, "faults", "net", "drop frame", phase="fault", fault="drop")
+    tr.edge(1500, "core0", "submit", "T:t/sub", "T:t/enq", 1000,
+            queue="q:machine")
+    tr.edge(2000, "core1", "queue_wait", "T:t/enq", "T:t/run0", 1500,
+            queue="q:machine")
+    tr.edge(6000, "core1", "compute", "T:t/run0", "T:t/done", 2000,
+            queue="q:machine")
+    return tr
+
+
+def test_svg_has_lanes_slices_faults_and_legend():
+    svg = render_gantt_svg(_tracer(), title="unit gantt")
+    assert svg.startswith("<svg") and svg.rstrip().endswith("</svg>")
+    for label in ("critpath", "faults", "core0", "core1"):
+        assert f">{label}</text>" in svg
+    assert "unit gantt" in svg
+    assert '#4e79a7' in svg  # completing run slice
+    assert '#a0cbe8' in svg  # repeat poll slice
+    assert "<title>drop</title>" in svg
+    # legend names the buckets the path actually used
+    assert ">compute</text>" in svg and ">queue_wait</text>" in svg
+    assert ">retransmit</text>" not in svg
+    # utilization labels present
+    assert "%</text>" in svg
+
+
+def test_svg_escapes_markup_in_names():
+    tr = Tracer(enabled=True)
+    tr.emit(2000, "pioman", "core0", "completed x", phase="run",
+            task="<evil&task>", queue="q:machine", core=0, start=1000,
+            complete=True)
+    svg = render_gantt_svg(tr)
+    assert "<evil&task>" not in svg
+    assert "&lt;evil&amp;task&gt;" in svg
+
+
+def test_terminal_chart_shape():
+    out = render_gantt_term(_tracer(), width=40)
+    lines = out.splitlines()
+    assert lines[0].startswith("gantt over 5 µs")
+    cpath = next(ln for ln in lines if "cpath" in ln)
+    body = cpath.split("|")[1]
+    assert len(body) == 40
+    assert "C" in body and "Q" in body  # compute + queue-wait bins
+    core_rows = [ln for ln in lines if ln.lstrip().startswith("core")]
+    assert len(core_rows) == 2
+    assert "█" in core_rows[1]  # completing run on core1
+    assert "░" in core_rows[0]  # repeat poll on core0
+    assert all(ln.rstrip().endswith("%") for ln in core_rows)
+    fault_row = next(ln for ln in lines if "fault" in ln and "|" in ln)
+    assert "!" in fault_row
+    assert lines[-1].lstrip().startswith("key:")
+
+
+def test_precomputed_critical_path_is_reused():
+    tr = _tracer()
+    cp = extract_critical_path(tr)
+    assert render_gantt_svg(tr, critical_path=cp) == render_gantt_svg(tr)
+    assert render_gantt_term(tr, critical_path=cp) == render_gantt_term(tr)
+
+
+def test_doc_rendering_matches_tracer(tmp_path):
+    tr = _tracer()
+    doc = chrome_trace(tr, meta={"ncores": 2})
+    assert render_gantt_term(doc) == render_gantt_term(tr)
+    path = write_gantt_svg(str(tmp_path / "g.svg"), doc)
+    text = (tmp_path / "g.svg").read_text()
+    assert path.endswith("g.svg") and text.startswith("<svg")
+
+
+def test_empty_trace_renders_without_error():
+    tr = Tracer(enabled=True)
+    svg = render_gantt_svg(tr)
+    assert svg.startswith("<svg")
+    term = render_gantt_term(tr)
+    assert term.startswith("gantt over")
+
+
+def test_cli_render_subcommand(tmp_path, capsys):
+    trace_path = tmp_path / "t.json"
+    trace_path.write_text(json.dumps(chrome_trace(_tracer(),
+                                                  meta={"ncores": 2})))
+    svg_path = tmp_path / "g.svg"
+    rc = bench_main([
+        "render", "--trace", str(trace_path),
+        "--gantt-out", str(svg_path), "--term", "--term-width", "48",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cpath" in out and "core0" in out
+    assert svg_path.read_text().startswith("<svg")
+
+    # default (no --gantt-out) prints the terminal chart
+    rc = bench_main(["render", "--trace", str(trace_path)])
+    assert rc == 0
+    assert "core0" in capsys.readouterr().out

@@ -93,3 +93,54 @@ def test_merge_trace_docs_is_order_independent():
 def test_merge_trace_docs_rejects_duplicate_names():
     with pytest.raises(ValueError, match="duplicate"):
         merge_trace_docs([("x", _doc([])), ("x", _doc([]))])
+
+
+def _edge_doc(task: str, base: int):
+    """A real exported doc containing one causal chain for ``task``."""
+    from repro.obs import chrome_trace
+    from repro.sim.trace import Tracer
+
+    tr = Tracer(enabled=True)
+    tr.edge(base + 50, "core0", "submit", f"T:{task}/sub", f"T:{task}/enq",
+            base, queue="q:machine")
+    tr.edge(base + 200, "core0", "queue_wait", f"T:{task}/enq",
+            f"T:{task}/run0", base + 50, queue="q:machine")
+    tr.edge(base + 900, "core0", "compute", f"T:{task}/run0",
+            f"T:{task}/done", base + 200, queue="q:machine")
+    tr.emit(base + 900, "pioman", "core0", f"completed {task}", phase="run",
+            task=task, queue="q:machine", core=0, start=base + 200,
+            complete=True)
+    return chrome_trace(tr, meta={"ncores": 1})
+
+
+def test_merge_preserves_causal_edges_across_pid_remap():
+    """Edge instants survive the remap/re-sort and stay analyzable."""
+    import json
+
+    from repro.obs import extract_critical_path
+
+    named = [("beta", _edge_doc("b", 10_000)), ("alpha", _edge_doc("a", 0))]
+    merged = merge_trace_docs(named)
+    assert merge_trace_docs(list(reversed(named))) == merged
+    assert json.dumps(merged, sort_keys=True) == json.dumps(
+        merge_trace_docs(list(reversed(named))), sort_keys=True
+    )
+
+    edge_events = [
+        e for e in merged["traceEvents"]
+        if (e.get("args") or {}).get("edge")
+    ]
+    assert len(edge_events) == 6
+    # args intact after the remap; pids follow name-sorted job order
+    by_pid = {e["pid"] for e in edge_events}
+    assert by_pid == {0, 1}
+    for ev in edge_events:
+        args = ev["args"]
+        assert {"edge", "cause", "effect", "start"} <= set(args)
+
+    # the critical-path walker understands the merged namespace: the
+    # terminal is the later job's completion, nodes pid-prefixed
+    cp = extract_critical_path(merged)
+    assert cp.terminal == "p1:T:b/done"
+    assert cp.edge_count == 6
+    assert sum(cp.totals.values()) == cp.makespan_ns

@@ -98,6 +98,22 @@ def test_cli_jobs2_report_json_metrics_and_trace_match_serial(tmp_path, capsys):
     assert par_metrics == ser_metrics
     assert par_trace == ser_trace
 
+    # the byte-identity above must not be vacuous for causal edges:
+    # both fan-outs record them, with intact args, on remapped pids
+    def edge_events(trace_text):
+        doc = json.loads(trace_text)
+        return [
+            e for e in doc["traceEvents"]
+            if (e.get("args") or {}).get("edge")
+        ]
+
+    ser_edges = edge_events(ser_trace)
+    par_edges = edge_events(par_trace)
+    assert len(ser_edges) > 0
+    assert ser_edges == par_edges
+    for ev in ser_edges[:20]:
+        assert {"edge", "cause", "effect", "start"} <= set(ev["args"])
+
 
 # ----------------------------------------------------------------------
 # leg-level fan-out: ablations and the scalability sweep
