@@ -150,6 +150,12 @@ class PIOMan:
                     for q in path
                 ]
             )
+        # One tuple load per fast_pass call instead of five attribute
+        # chains (stats, summary stats, pairs, batched instruction).
+        self._fast_ctx = [
+            (self.stats, self.hierarchy.summary_stats, pairs, comp)
+            for pairs, comp in zip(self._fast_pairs, self._fast_compute)
+        ]
         # Locks report contended handoffs onto the same trace stream, so
         # the analyzer can line contention intervals up with task slices;
         # queues add the submit->enqueue causal edge.
@@ -280,13 +286,14 @@ class PIOMan:
         The nearest-first candidate order is a per-(cpuset, origin) memo
         on the hierarchy — only the idleness check runs per call.
         """
-        if self.scheduler is None:
+        sched = self.scheduler
+        if sched is None:
             return None
-        cores = self.scheduler.cores
+        running = sched._cur  # parallel list: one indexed load per probe
+        cores = sched.cores
         for c in self.hierarchy.candidate_order(cpuset, from_core):
-            state = cores[c]
-            cur = state.current
-            if cur is None or cur is state.idle_thread or cur.prio == Prio.IDLE:
+            cur = running[c]
+            if cur is None or cur is cores[c].idle_thread or cur.prio == Prio.IDLE:
                 return c
         return None
 
@@ -308,13 +315,14 @@ class PIOMan:
         hier = self.hierarchy
         if not hier.primed_mask >> core & 1:
             return None
-        self.stats.schedule_passes += 1
-        hier.summary_stats.summary_hits += 1
-        for qstats, lstats in self._fast_pairs[core]:
+        stats, sstats, pairs, compute = self._fast_ctx[core]
+        stats.schedule_passes += 1
+        sstats.summary_hits += 1
+        for qstats, lstats in pairs:
             lstats.reads += 1
             lstats.read_hits += 1
             qstats.empty_checks += 1
-        return self._fast_compute[core]
+        return compute
 
     def schedule_once(self, core: int) -> Generator[Instr, Any, tuple[int, int, bool]]:
         """One full Algorithm-1 pass on ``core``.

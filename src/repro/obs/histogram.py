@@ -39,8 +39,13 @@ class Histogram:
 
     __slots__ = ("_buckets", "_count", "_sum", "_min", "_max")
 
+    #: buckets preallocated at construction: covers values up to
+    #: ``2**_PREALLOC - 1`` without a bounds check on the hot record path
+    #: (68 bits > any nanosecond quantity a simulation can produce)
+    _PREALLOC = 68
+
     def __init__(self) -> None:
-        self._buckets: list[int] = []
+        self._buckets: list[int] = [0] * self._PREALLOC
         self._count = 0
         self._sum = 0
         self._min = 0
@@ -52,15 +57,21 @@ class Histogram:
         v = int(value)
         if v < 0:
             v = 0
-        buckets = self._buckets
-        idx = v.bit_length()
-        if idx >= len(buckets):
-            buckets.extend([0] * (idx + 1 - len(buckets)))
-        buckets[idx] += 1
+        try:
+            self._buckets[v.bit_length()] += 1
+        except IndexError:  # beyond the preallocated range: grow once
+            buckets = self._buckets
+            buckets.extend([0] * (v.bit_length() + 1 - len(buckets)))
+            buckets[v.bit_length()] += 1
         count = self._count
-        if count == 0 or v < self._min:
+        if count:
+            # a sample is outside [min, max] on at most one side
+            if v > self._max:
+                self._max = v
+            elif v < self._min:
+                self._min = v
+        else:
             self._min = v
-        if v > self._max:
             self._max = v
         self._count = count + 1
         self._sum += v

@@ -191,19 +191,25 @@ class SpinLock:
             )
             if starved:
                 winner = oldest
+                del ws[0]
+                xfer = xfer_row[winner.core]
             else:
-                # min(ws, key=(xfer, seq)) without a lambda per element
+                # min(ws, key=(xfer, seq)) without a lambda per element;
+                # track the index so the removal is O(1) bookkeeping on
+                # top of the scan instead of a second identity pass
                 winner = ws[0]
+                wi = 0
                 bx = xfer_row[winner.core]
                 bs = winner.seq
-                for w in ws:
+                for i, w in enumerate(ws):
                     x = xfer_row[w.core]
                     if x < bx or (x == bx and w.seq < bs):
                         winner = w
+                        wi = i
                         bx = x
                         bs = w.seq
-            ws.remove(winner)
-            xfer = xfer_row[winner.core]
+                del ws[wi]
+                xfer = bx
             if ws:  # others still hammering the line (CAS storm)
                 xfer = int(xfer * self.machine.spec.contended_factor)
         delay = cost + xfer + self.machine.spec.cas_ns

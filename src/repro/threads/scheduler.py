@@ -17,6 +17,22 @@ PIOMan attaches itself by assigning :attr:`Scheduler.progression_hook` —
 the scheduler has no knowledge of task queues; it only provides keypoints,
 exactly like Marcel provides triggers to PIOMan (paper §IV-A).
 
+Hot-path layout
+---------------
+The interpreter fast path (:meth:`Scheduler._advance`, the most
+frequently fired callback in the simulator) keys everything by core id:
+the per-core state it touches — run queue, current thread, preempt flag,
+busy time — lives in parallel lists (``_rqs``/``_cur``/``_preempt``/
+``_busy``) indexed by core id rather than as attributes of the
+:class:`CoreState` objects, and the engine posts it pre-built
+``(core_id, thread)`` args tuples interned on the thread.  Event posts
+on this path are inlined against the engine's queue layout (chosen by
+``engine.is_wheel``): same-instant events go to the wheel's ``_nowq``
+FIFO, short-horizon events heappush into the actively draining bucket
+(``t <= engine._aend``, one compare), and everything else takes the
+engine's ``_insert`` cold path — or a plain heap push on the legacy
+heap core.
+
 Doorbells
 ---------
 Idle cores eventually *park* (no live events) rather than looping forever.
@@ -84,46 +100,76 @@ class Keypoint(enum.Enum):
 
 
 class CoreState:
-    """Mutable per-core scheduling state."""
+    """Per-core scheduling state.
+
+    The hot fields read by the dispatch inner loop — ``run_queue``,
+    ``current``, ``preempt_pending``, ``busy_ns`` — live in the owning
+    scheduler's parallel lists (see the module docstring); this class
+    exposes them as properties so diagnostics, reports, fault injectors
+    and tests keep their one-object-per-core view, and holds the colder
+    per-core state as real slots.
+    """
 
     __slots__ = (
         "id",
-        "run_queue",
-        "current",
+        "_sched",
         "last_thread",
         "idle_thread",
         "timer_armed",
         "hook_live",
         "last_inject",
-        "busy_ns",
         "ctx_switches",
         "timer_ticks",
         "keypoint_counts",
-        "preempt_pending",
         "backoff_streak",
         "last_wake",
     )
 
-    def __init__(self, core_id: int) -> None:
+    def __init__(self, core_id: int, sched: "Scheduler") -> None:
         self.id = core_id
-        self.run_queue: list[SimThread] = []
-        self.current: Optional[SimThread] = None
+        self._sched = sched
         self.last_thread: Optional[SimThread] = None
         self.idle_thread: Optional[SimThread] = None
         self.timer_armed = False
         self.hook_live = False
         self.last_inject = -(10**12)
-        self.busy_ns = 0
         self.ctx_switches = 0
         self.timer_ticks = 0
         self.keypoint_counts: dict[Keypoint, int] = {k: 0 for k in Keypoint}
-        self.preempt_pending = False
         #: consecutive no-progress idle passes (adaptive backoff input)
         self.backoff_streak = 0
         #: causal-trace context: ``(wake_node, wake_ns)`` of the doorbell
         #: that last woke this core's idle loop, consumed by the task
         #: runner's dispatch edge (assigned only while tracing is enabled)
         self.last_wake: Optional[tuple] = None
+
+    @property
+    def run_queue(self) -> list[SimThread]:
+        return self._sched._rqs[self.id]
+
+    @property
+    def current(self) -> Optional[SimThread]:
+        return self._sched._cur[self.id]
+
+    @current.setter
+    def current(self, thread: Optional[SimThread]) -> None:
+        self._sched._cur[self.id] = thread
+
+    @property
+    def preempt_pending(self) -> bool:
+        return self._sched._preempt[self.id]
+
+    @preempt_pending.setter
+    def preempt_pending(self, flag: bool) -> None:
+        self._sched._preempt[self.id] = flag
+
+    @property
+    def busy_ns(self) -> int:
+        return self._sched._busy[self.id]
+
+    @busy_ns.setter
+    def busy_ns(self, ns: int) -> None:
+        self._sched._busy[self.id] = ns
 
 
 class Scheduler:
@@ -148,7 +194,17 @@ class Scheduler:
         self.engine = engine
         self.name = name
         self.tracer = tracer
-        self.cores = [CoreState(i) for i in range(machine.ncores)]
+        ncores = machine.ncores
+        #: hot per-core state as parallel lists indexed by core id
+        #: (array-of-struct layout; CoreState exposes them as properties)
+        self._rqs: list[list[SimThread]] = [[] for _ in range(ncores)]
+        self._cur: list[Optional[SimThread]] = [None] * ncores
+        self._preempt: list[bool] = [False] * ncores
+        self._busy: list[int] = [0] * ncores
+        #: interned ``(core_id,)`` argument tuples for the inlined
+        #: ``post_soon(self._dispatch, cid)`` dispatch kicks
+        self._cid_args: list[tuple[int]] = [(i,) for i in range(ncores)]
+        self.cores = [CoreState(i, self) for i in range(ncores)]
         self.progression_hook: Optional[ProgressionHook] = None
         #: O(1) empty-pass accessory to the hook (see PIOMan.fast_pass):
         #: ``progression_fast(core)`` returns the pass's single batched
@@ -267,7 +323,7 @@ class Scheduler:
         hook = self.progression_hook
         fast = self.progression_fast
         fast_done = self.progression_fast_done
-        rq = state.run_queue
+        rq = self._rqs[core_id]
         true_spin = self.true_spin
         linger_max = self.idle_linger_probes
         while True:
@@ -342,7 +398,7 @@ class Scheduler:
         # plain loop: this runs once per idle pass, and a genexp + any()
         # allocates a generator and a frame every call
         ready = TState.READY
-        for t in self.cores[core_id].run_queue:
+        for t in self._rqs[core_id]:
             if t.prio <= Prio.NORMAL and t.state is ready:
                 return True
         return False
@@ -423,24 +479,34 @@ class Scheduler:
         self._enqueue(thread)
 
     def _enqueue(self, thread: SimThread) -> None:
-        core = self.cores[thread.core_id]
+        cid = thread.core_id
         thread.rq_seq = self._rr_seq
         self._rr_seq += 1
-        core.run_queue.append(thread)
-        cur = core.current
+        self._rqs[cid].append(thread)
+        cur = self._cur[cid]
         if cur is None:
-            self.engine.post_soon(self._dispatch, core.id)
+            # engine.post_soon inlined on the wheel core: a dispatch kick
+            # is a same-instant event, i.e. one FIFO append
+            engine = self.engine
+            if engine.is_wheel:
+                seq = engine._seq
+                engine._seq = seq + 1
+                engine._live += 1
+                engine._nowq.append(
+                    (engine.now, seq, self._dispatch, self._cid_args[cid])
+                )
+            else:
+                engine.post_soon(self._dispatch, cid)
         elif thread.prio < cur.prio:
-            core.preempt_pending = True
+            self._preempt[cid] = True
             if cur.spin_cancel is not None:
                 # A higher-priority arrival must not wait behind an
                 # unbounded busy-spin: cancel and re-issue the spin.
-                self._cancel_spin(core, cur)
+                self._cancel_spin(cid, cur)
 
     def _dispatch(self, core_id: int) -> None:
-        core = self.cores[core_id]
-        rq = core.run_queue
-        if core.current is not None or not rq:
+        rq = self._rqs[core_id]
+        if self._cur[core_id] is not None or not rq:
             return
         if len(rq) == 1:  # the common case: nothing to arbitrate
             nxt = rq.pop()
@@ -459,13 +525,14 @@ class Scheduler:
                     bp = p
                     bs = t.rq_seq
             rq.remove(nxt)
+        core = self.cores[core_id]
         prev = core.last_thread
         switch_cost = 0
         if prev is not nxt and prev is not None:
             switch_cost = self.machine.spec.context_switch_ns
             core.ctx_switches += 1
             self._maybe_inject_hook(core, Keypoint.CTX_SWITCH, prev, nxt)
-        core.current = nxt
+        self._cur[core_id] = nxt
         core.last_thread = nxt
         nxt.state = TState.RUNNING
         if nxt.prio == Prio.NORMAL:
@@ -476,25 +543,42 @@ class Scheduler:
         # engine.post/post_soon inlined: one dispatch per thread switch
         seq = engine._seq
         engine._seq = seq + 1
-        pool = engine._pool
-        if pool:
-            ev = pool.pop()
-            ev.time = t
-            ev.seq = seq
-            ev.fn = self._advance
-            ev.args = (core, nxt)
-            ev.alive = True
-        else:
-            ev = Event(t, seq, self._advance, (core, nxt))
-            ev._pooled = True
         engine._live += 1
-        heappush(engine._heap, (t, seq, ev))
+        if engine.is_wheel:
+            if t == engine.now:
+                engine._nowq.append((t, seq, self._advance, nxt.adv_args))
+            elif t <= engine._aend:
+                heappush(engine._abuc, (t, seq, self._advance, nxt.adv_args))
+            else:
+                engine._insert((t, seq, self._advance, nxt.adv_args))
+        else:
+            pool = engine._pool
+            if pool:
+                ev = pool.pop()
+                ev.time = t
+                ev.seq = seq
+                ev.fn = self._advance
+                ev.args = nxt.adv_args
+                ev.alive = True
+            else:
+                ev = Event(t, seq, self._advance, nxt.adv_args)
+                ev._pooled = True
+            heappush(engine._heap, (t, seq, ev))
 
-    def _release_core(self, core: CoreState) -> None:
-        core.current = None
-        core.preempt_pending = False
-        if core.run_queue:
-            self.engine.post_soon(self._dispatch, core.id)
+    def _release_core(self, core_id: int) -> None:
+        self._cur[core_id] = None
+        self._preempt[core_id] = False
+        if self._rqs[core_id]:
+            engine = self.engine
+            if engine.is_wheel:
+                seq = engine._seq
+                engine._seq = seq + 1
+                engine._live += 1
+                engine._nowq.append(
+                    (engine.now, seq, self._dispatch, self._cid_args[core_id])
+                )
+            else:
+                engine.post_soon(self._dispatch, core_id)
 
     # -- keypoint hook injection ---------------------------------------
     def _maybe_inject_hook(
@@ -567,7 +651,7 @@ class Scheduler:
     def _timer_tick(self, core_id: int) -> None:
         core = self.cores[core_id]
         core.timer_armed = False
-        cur = core.current
+        cur = self._cur[core_id]
         if cur is None or cur.prio != Prio.NORMAL:
             return  # re-armed lazily when a normal thread runs again
         core.timer_ticks += 1
@@ -576,34 +660,34 @@ class Scheduler:
         contender = False
         ready = TState.READY
         cur_prio = cur.prio
-        for t in core.run_queue:
+        for t in self._rqs[core_id]:
             if t.state is ready and t.prio <= cur_prio:
                 contender = True
                 break
         if contender:
-            core.preempt_pending = True
+            self._preempt[core_id] = True
             if cur.spin_cancel is not None:
                 # Spinners have no instruction boundary; the timer is what
                 # preempts a real busy-wait loop.  Cancel the registration
                 # and re-issue the spin when the thread runs again.
-                self._cancel_spin(core, cur)
+                self._cancel_spin(core_id, cur)
         self._arm_timer(core)
 
     # ------------------------------------------------------------------
     # instruction interpreter
     # ------------------------------------------------------------------
-    def _advance(self, core: CoreState, thread: SimThread) -> None:
-        # Callers pass the CoreState object itself (not the core id): this
-        # is the most frequently fired callback in the simulator and the
-        # per-event ``self.cores[id]`` lookup was measurable.
-        if core.current is not thread or thread.state is not _RUNNING:
+    def _advance(self, cid: int, thread: SimThread) -> None:
+        # The most frequently fired callback in the simulator: everything
+        # it touches is either on the thread or in a flat per-core list,
+        # and its args tuple is interned on the thread (thread.adv_args).
+        if self._cur[cid] is not thread or thread.state is not _RUNNING:
             return  # stale event (thread moved on)
         # An in-flight Compute slice schedules _advance directly as its
         # completion callback (no trampoline), so the slice handle is
         # dropped here — before anything below can recycle the carrier.
         thread.compute_event = None
-        if core.preempt_pending and self._should_preempt(core, thread):
-            self._preempt(core, thread)
+        if self._preempt[cid] and self._should_preempt(cid, thread):
+            self._preempt_thread(cid, thread)
             return
         instr = thread.pending_instr
         if instr is not None:
@@ -613,7 +697,7 @@ class Scheduler:
                 instr = thread.gen.send(thread.resume_value)
             except StopIteration as stop:
                 thread.result = stop.value
-                self._finish(core, thread)
+                self._finish(cid, thread)
                 return
             thread.resume_value = None
             skew = self.core_skew
@@ -622,13 +706,13 @@ class Scheduler:
                 # pending_instr path above re-issues remainders that are
                 # already in skewed units (and pooled/shared instruction
                 # instances are never mutated, so build a new one).
-                f = skew[core.id]
+                f = skew[cid]
                 if f is not None:
                     instr = Compute(instr.ns * f[0] // f[1])
         engine = self.engine
         thread.instr_start = engine.now
         # The single hottest branch — a Compute slice — is inlined here
-        # (including the engine's heap push): _advance runs once per
+        # (including the engine's queue insert): _advance runs once per
         # instruction, and the call fan-out dominates host time.
         if instr.__class__ is Compute:
             ns = instr.ns
@@ -639,7 +723,7 @@ class Scheduler:
                 if remaining > 0:
                     thread.pending_instr = Compute(remaining)
                 thread.cpu_ns += slice_ns
-                core.busy_ns += slice_ns
+                self._busy[cid] += slice_ns
                 now = engine.now
                 seq = engine._seq
                 engine._seq = seq + 1
@@ -653,41 +737,56 @@ class Scheduler:
                     ev.time = t
                     ev.seq = seq
                     ev.fn = self._advance
-                    ev.args = (core, thread)
+                    ev.args = thread.adv_args
                     ev.alive = True
                 else:
-                    ev = Event(t, seq, self._advance, (core, thread))
+                    ev = Event(t, seq, self._advance, thread.adv_args)
                     ev._pooled = True
                 ev._engine = engine
                 engine._live += 1
-                heappush(engine._heap, (t, seq, ev))
+                if engine.is_wheel:
+                    if t == now:
+                        engine._nowq.append((t, seq, None, ev))
+                    elif t <= engine._aend:
+                        heappush(engine._abuc, (t, seq, None, ev))
+                    else:
+                        engine._insert((t, seq, None, ev))
+                else:
+                    heappush(engine._heap, (t, seq, ev))
                 thread.compute_event = (ev, now, slice_ns)
                 return
-        self._exec(core, thread, instr)
+        self._exec(cid, thread, instr)
 
-    def _should_preempt(self, core: CoreState, thread: SimThread) -> bool:
+    def _should_preempt(self, cid: int, thread: SimThread) -> bool:
         """Preempt when a higher-priority thread waits, or — once the timer
         has requested rotation by setting ``preempt_pending`` — when a
         same-priority thread waits (FIFO requeueing makes this fair)."""
         ready = TState.READY
         prio = thread.prio if thread.prio_boost is None else thread.prio_boost
-        for t in core.run_queue:
+        for t in self._rqs[cid]:
             if t.state is ready:
                 p = t.prio if t.prio_boost is None else t.prio_boost
                 if p <= prio:
                     return True
         return False
 
-    def _preempt(self, core: CoreState, thread: SimThread) -> None:
-        core.preempt_pending = False
+    def _preempt_thread(self, cid: int, thread: SimThread) -> None:
+        self._preempt[cid] = False
         thread.state = TState.READY
         thread.rq_seq = self._rr_seq
         self._rr_seq += 1
-        core.run_queue.append(thread)
-        core.current = None
-        self.engine.post_soon(self._dispatch, core.id)
+        self._rqs[cid].append(thread)
+        self._cur[cid] = None
+        engine = self.engine
+        if engine.is_wheel:
+            seq = engine._seq
+            engine._seq = seq + 1
+            engine._live += 1
+            engine._nowq.append((engine.now, seq, self._dispatch, self._cid_args[cid]))
+        else:
+            engine.post_soon(self._dispatch, cid)
 
-    def _cancel_spin(self, core: CoreState, thread: SimThread) -> None:
+    def _cancel_spin(self, cid: int, thread: SimThread) -> None:
         """Preempt a busy-spinning thread (timer/priority): deregister its
         waiter entry and arrange for the spin instruction to be re-issued
         when the thread is dispatched again.  No-op if the grant/wake is
@@ -697,7 +796,7 @@ class Scheduler:
             return
         thread.spin_cancel = None
         thread.pending_instr = instr
-        self._charge(core, thread, self.engine.now - thread.instr_start)
+        self._charge(cid, thread, self.engine.now - thread.instr_start)
         lock = getattr(instr, "lock", None)
         if lock is not None:
             # Priority inheritance: if the lock's owner sits READY at a
@@ -713,38 +812,46 @@ class Scheduler:
                 and holder.prio_boost is None
             ):
                 holder.prio_boost = thread.prio
-        self._preempt(core, thread)
+        self._preempt_thread(cid, thread)
 
-    def _charge(self, core: CoreState, thread: SimThread, ns: int) -> None:
+    def _charge(self, cid: int, thread: SimThread, ns: int) -> None:
         thread.cpu_ns += ns
-        core.busy_ns += ns
+        self._busy[cid] += ns
 
-    def _resume_after(self, core: CoreState, thread: SimThread, cost: int) -> None:
+    def _resume_after(self, cid: int, thread: SimThread, cost: int) -> None:
         """Finish the current instruction ``cost`` ns from now."""
         thread.cpu_ns += cost
-        core.busy_ns += cost
+        self._busy[cid] += cost
         engine = self.engine
         if type(cost) is not int or cost < 0:
             # rare non-int costs: the engine's coercing/validating path
-            engine.post(cost, self._advance, core, thread)
+            engine.post(cost, self._advance, cid, thread)
             return
         # engine.post inlined (second-hottest event source after Compute)
         t = engine.now + cost
         seq = engine._seq
         engine._seq = seq + 1
-        pool = engine._pool
-        if pool:
-            ev = pool.pop()
-            ev.time = t
-            ev.seq = seq
-            ev.fn = self._advance
-            ev.args = (core, thread)
-            ev.alive = True
-        else:
-            ev = Event(t, seq, self._advance, (core, thread))
-            ev._pooled = True
         engine._live += 1
-        heappush(engine._heap, (t, seq, ev))
+        if engine.is_wheel:
+            if t == engine.now:
+                engine._nowq.append((t, seq, self._advance, thread.adv_args))
+            elif t <= engine._aend:
+                heappush(engine._abuc, (t, seq, self._advance, thread.adv_args))
+            else:
+                engine._insert((t, seq, self._advance, thread.adv_args))
+        else:
+            pool = engine._pool
+            if pool:
+                ev = pool.pop()
+                ev.time = t
+                ev.seq = seq
+                ev.fn = self._advance
+                ev.args = thread.adv_args
+                ev.alive = True
+            else:
+                ev = Event(t, seq, self._advance, thread.adv_args)
+                ev._pooled = True
+            heappush(engine._heap, (t, seq, ev))
 
     def interrupt_compute(self, core_id: int) -> bool:
         """Interrupt the current thread's in-flight Compute slice (the
@@ -752,8 +859,7 @@ class Scheduler:
         slice is un-charged and re-issued as a pending instruction; the
         thread is requeued READY.  Returns True if something was
         interrupted."""
-        core = self.cores[core_id]
-        cur = core.current
+        cur = self._cur[core_id]
         if cur is None or cur.compute_event is None:
             return False
         ev, started, slice_ns = cur.compute_event
@@ -763,35 +869,35 @@ class Scheduler:
         cur.compute_event = None
         elapsed = self.engine.now - started
         unused = slice_ns - elapsed
-        self._charge(core, cur, -unused)
+        self._charge(core_id, cur, -unused)
         carry = 0
         if isinstance(cur.pending_instr, Compute):
             carry = cur.pending_instr.ns
         total = unused + carry
         cur.pending_instr = Compute(total) if total > 0 else None
-        self._preempt(core, cur)
+        self._preempt_thread(core_id, cur)
         return True
 
-    def _block(self, core: CoreState, thread: SimThread, reason: str) -> None:
+    def _block(self, cid: int, thread: SimThread, reason: str) -> None:
         thread.state = TState.BLOCKED
         thread.blocked_on = reason
-        self._release_core(core)
+        self._release_core(cid)
 
-    def _finish(self, core: CoreState, thread: SimThread) -> None:
+    def _finish(self, cid: int, thread: SimThread) -> None:
         thread.state = TState.DONE
         thread.prio_boost = None
         if self.tracer.enabled:
             self.tracer.emit(
-                self.engine.now, "sched", f"core{core.id}", f"finish {thread.name}"
+                self.engine.now, "sched", f"core{cid}", f"finish {thread.name}"
             )
         if thread.is_hook:
-            core.hook_live = False
+            self.cores[cid].hook_live = False
         if thread.prio == Prio.NORMAL:
             self.normal_live -= 1
             if self.normal_live == 0:
                 self._nudge_idles()
-        thread.done_flag.set(core.id)
-        self._release_core(core)
+        thread.done_flag.set(cid)
+        self._release_core(cid)
 
     def _nudge_idles(self) -> None:
         """Wake sleeping idle loops so they can re-evaluate and park."""
@@ -807,7 +913,7 @@ class Scheduler:
                 self.wake(idle)
 
     # -- per-instruction handlers ----------------------------------------
-    def _exec(self, core: CoreState, thread: SimThread, instr: Instr) -> None:
+    def _exec(self, cid: int, thread: SimThread, instr: Instr) -> None:
         # Exact-type dispatch: instruction classes are final in practice,
         # and ``__class__ is X`` beats an isinstance() chain on the hottest
         # interpreter path.  Unknown (subclassed) instructions fall through
@@ -821,51 +927,56 @@ class Scheduler:
             if remaining > 0:
                 thread.pending_instr = Compute(remaining)
             thread.cpu_ns += slice_ns
-            core.busy_ns += slice_ns
+            self._busy[cid] += slice_ns
             engine = self.engine
-            ev = engine.schedule(slice_ns, self._advance, core, thread)
+            ev = engine.schedule(slice_ns, self._advance, cid, thread)
             thread.compute_event = (ev, engine.now, slice_ns)
         elif cls is Acquire:
             start = self.engine.now
 
             def granted() -> None:
                 thread.spin_cancel = None
-                if thread.state is _RUNNING and core.current is thread:
+                if thread.state is _RUNNING and self._cur[cid] is thread:
                     engine = self.engine
                     spun_ns = engine.now - start
                     thread.cpu_ns += spun_ns
-                    core.busy_ns += spun_ns
+                    self._busy[cid] += spun_ns
                     # engine.post_soon inlined (one grant per acquisition)
                     seq = engine._seq
                     engine._seq = seq + 1
                     t = engine.now
-                    pool = engine._pool
-                    if pool:
-                        ev = pool.pop()
-                        ev.time = t
-                        ev.seq = seq
-                        ev.fn = self._advance
-                        ev.args = (core, thread)
-                        ev.alive = True
-                    else:
-                        ev = Event(t, seq, self._advance, (core, thread))
-                        ev._pooled = True
                     engine._live += 1
-                    heappush(engine._heap, (t, seq, ev))
+                    if engine.is_wheel:
+                        # a grant always lands at ``now``: straight to the
+                        # same-instant FIFO
+                        engine._nowq.append((t, seq, self._advance, thread.adv_args))
+                    else:
+                        pool = engine._pool
+                        if pool:
+                            ev = pool.pop()
+                            ev.time = t
+                            ev.seq = seq
+                            ev.fn = self._advance
+                            ev.args = thread.adv_args
+                            ev.alive = True
+                        else:
+                            ev = Event(t, seq, self._advance, thread.adv_args)
+                            ev._pooled = True
+                        heappush(engine._heap, (t, seq, ev))
                 else:  # pragma: no cover - defensive; cancel prevents this
                     raise RuntimeError(
                         f"lock {instr.lock.name!r} granted to descheduled "
                         f"thread {thread.name!r}"
                     )
 
-            waiter = instr.lock.acquire(core.id, granted, thread)
+            waiter = instr.lock.acquire(cid, granted, thread)
             if waiter is not None:
                 lock = instr.lock
                 thread.spin_cancel = (lambda: lock.cancel_waiter(waiter), instr)
                 holder = lock.holder_thread
                 if (
                     holder is not None
-                    and holder.core_id == core.id
+                    and holder.core_id == cid
                     and holder.state is TState.READY
                     and thread.prio < holder.prio
                 ):
@@ -874,15 +985,15 @@ class Scheduler:
                     # inversion livelock).  Inherit: boost the holder to the
                     # spinner's priority and yield the CPU to it.
                     holder.prio_boost = thread.prio
-                    self._cancel_spin(core, thread)
+                    self._cancel_spin(cid, thread)
         elif cls is Release:
             if thread.prio_boost is not None:
                 thread.prio_boost = None  # inherited priority ends here
-            cost = instr.lock.release(core.id)
-            self._resume_after(core, thread, cost)
+            cost = instr.lock.release(cid)
+            self._resume_after(cid, thread, cost)
         elif cls is SetFlag:
-            cost = instr.flag.set(core.id)
-            self._resume_after(core, thread, cost)
+            cost = instr.flag.set(cid)
+            self._resume_after(cid, thread, cost)
         elif cls is Sleep:
             ns = instr.ns
             if type(ns) is int and ns >= 0:
@@ -902,64 +1013,81 @@ class Scheduler:
                     ev.time = t
                     ev.seq = seq
                     ev.fn = self._sleep_wake
-                    ev.args = (thread,)
+                    ev.args = thread.wake_args
                     ev.alive = True
                 else:
-                    ev = Event(t, seq, self._sleep_wake, (thread,))
+                    ev = Event(t, seq, self._sleep_wake, thread.wake_args)
                     ev._pooled = True
                 ev._engine = engine
                 engine._live += 1
-                heappush(engine._heap, (t, seq, ev))
+                if engine.is_wheel:
+                    if ns == 0:
+                        engine._nowq.append((t, seq, None, ev))
+                    elif t <= engine._aend:
+                        heappush(engine._abuc, (t, seq, None, ev))
+                    else:
+                        engine._insert((t, seq, None, ev))
+                else:
+                    heappush(engine._heap, (t, seq, ev))
                 thread.sleep_event = ev
-                self._block(core, thread, "sleep")
+                self._block(cid, thread, "sleep")
             else:
                 thread.sleep_event = self.engine.schedule(ns, self._sleep_wake, thread)
-                self._block(core, thread, f"sleep:{ns}")
+                self._block(cid, thread, f"sleep:{ns}")
         elif cls is YieldCPU:
             thread.state = TState.READY
             thread.rq_seq = self._rr_seq
             self._rr_seq += 1
-            core.run_queue.append(thread)
-            core.current = None
-            core.preempt_pending = False
-            self.engine.post_soon(self._dispatch, core.id)
+            self._rqs[cid].append(thread)
+            self._cur[cid] = None
+            self._preempt[cid] = False
+            engine = self.engine
+            if engine.is_wheel:
+                seq = engine._seq
+                engine._seq = seq + 1
+                engine._live += 1
+                engine._nowq.append(
+                    (engine.now, seq, self._dispatch, self._cid_args[cid])
+                )
+            else:
+                engine.post_soon(self._dispatch, cid)
         elif cls is SpinOn:
-            cost = instr.flag.read(core.id)
+            cost = instr.flag.read(cid)
             if instr.flag.is_set:
-                self._resume_after(core, thread, cost)
+                self._resume_after(cid, thread, cost)
             else:
                 start = self.engine.now
 
                 def spun() -> None:
                     thread.spin_cancel = None
-                    if thread.state is _RUNNING and core.current is thread:
-                        self._charge(core, thread, self.engine.now - start)
-                        self.engine.post_soon(self._advance, core, thread)
+                    if thread.state is _RUNNING and self._cur[cid] is thread:
+                        self._charge(cid, thread, self.engine.now - start)
+                        self.engine.post_soon(self._advance, cid, thread)
                     else:  # pragma: no cover - defensive
                         raise RuntimeError(
                             f"flag {instr.flag.name!r} woke a descheduled "
                             f"spinner {thread.name!r}"
                         )
 
-                entry = instr.flag.add_spinner(core.id, spun)
+                entry = instr.flag.add_spinner(cid, spun)
                 flag = instr.flag
                 thread.spin_cancel = (lambda: flag.remove_spinner(entry), instr)
         elif cls is BlockOn:
-            cost = instr.flag.read(core.id)
+            cost = instr.flag.read(cid)
             if instr.flag.is_set:
-                self._resume_after(core, thread, cost)
+                self._resume_after(cid, thread, cost)
             else:
-                self._charge(core, thread, cost)
+                self._charge(cid, thread, cost)
                 instr.flag.add_blocker(thread)
-                self._block(core, thread, f"flag:{instr.flag.name}")
+                self._block(cid, thread, f"flag:{instr.flag.name}")
         elif cls is Park:
-            if thread is not core.idle_thread:
+            if thread is not self.cores[cid].idle_thread:
                 raise RuntimeError("only the idle thread may Park")
-            self._block(core, thread, "parked")
+            self._block(cid, thread, "parked")
         else:
-            self._exec_slow(core, thread, instr)
+            self._exec_slow(cid, thread, instr)
 
-    def _exec_slow(self, core: CoreState, thread: SimThread, instr: Instr) -> None:
+    def _exec_slow(self, cid: int, thread: SimThread, instr: Instr) -> None:
         """isinstance-based dispatch for the rarer instructions (and any
         subclassed ones the exact-type fast path above cannot match)."""
         if isinstance(instr, Compute):
@@ -968,115 +1096,115 @@ class Scheduler:
             remaining = instr.ns - slice_ns
             if remaining > 0:
                 thread.pending_instr = Compute(remaining)
-            self._charge(core, thread, slice_ns)
-            ev = self.engine.schedule(slice_ns, self._advance, core, thread)
+            self._charge(cid, thread, slice_ns)
+            ev = self.engine.schedule(slice_ns, self._advance, cid, thread)
             thread.compute_event = (ev, self.engine.now, slice_ns)
         elif isinstance(instr, Acquire):
             start = self.engine.now
 
             def granted() -> None:
                 thread.spin_cancel = None
-                if thread.state is _RUNNING and core.current is thread:
-                    self._charge(core, thread, self.engine.now - start)
-                    self.engine.post_soon(self._advance, core, thread)
+                if thread.state is _RUNNING and self._cur[cid] is thread:
+                    self._charge(cid, thread, self.engine.now - start)
+                    self.engine.post_soon(self._advance, cid, thread)
                 else:  # pragma: no cover - defensive; cancel prevents this
                     raise RuntimeError(
                         f"lock {instr.lock.name!r} granted to descheduled "
                         f"thread {thread.name!r}"
                     )
 
-            waiter = instr.lock.acquire(core.id, granted, thread)
+            waiter = instr.lock.acquire(cid, granted, thread)
             if waiter is not None:
                 lock = instr.lock
                 thread.spin_cancel = (lambda: lock.cancel_waiter(waiter), instr)
                 holder = lock.holder_thread
                 if (
                     holder is not None
-                    and holder.core_id == core.id
+                    and holder.core_id == cid
                     and holder.state is TState.READY
                     and thread.prio < holder.prio
                 ):
                     # futile spin against a descheduled same-core holder:
                     # inherit priority and yield (see the fast path)
                     holder.prio_boost = thread.prio
-                    self._cancel_spin(core, thread)
+                    self._cancel_spin(cid, thread)
         elif isinstance(instr, Release):
             if thread.prio_boost is not None:
                 thread.prio_boost = None
-            cost = instr.lock.release(core.id)
-            self._resume_after(core, thread, cost)
+            cost = instr.lock.release(cid)
+            self._resume_after(cid, thread, cost)
         elif isinstance(instr, MutexAcquire):
             cost = instr.mutex.acquire(thread)
             if cost is None:
-                self._block(core, thread, f"mutex:{instr.mutex.name}")
+                self._block(cid, thread, f"mutex:{instr.mutex.name}")
             else:
-                self._resume_after(core, thread, cost)
+                self._resume_after(cid, thread, cost)
         elif isinstance(instr, MutexRelease):
             cost = instr.mutex.release(thread)
-            self._resume_after(core, thread, cost)
+            self._resume_after(cid, thread, cost)
         elif isinstance(instr, BlockOn):
-            cost = instr.flag.read(core.id)
+            cost = instr.flag.read(cid)
             if instr.flag.is_set:
-                self._resume_after(core, thread, cost)
+                self._resume_after(cid, thread, cost)
             else:
-                self._charge(core, thread, cost)
+                self._charge(cid, thread, cost)
                 instr.flag.add_blocker(thread)
-                self._block(core, thread, f"flag:{instr.flag.name}")
+                self._block(cid, thread, f"flag:{instr.flag.name}")
         elif isinstance(instr, BlockOnAny):
             cost = 0
             fired = False
             for f in instr.flags:
-                cost += f.read(core.id)
+                cost += f.read(cid)
                 if f.is_set:
                     fired = True
                     break
             if fired:
-                self._resume_after(core, thread, cost)
+                self._resume_after(cid, thread, cost)
             else:
-                self._charge(core, thread, cost)
+                self._charge(cid, thread, cost)
                 for f in instr.flags:
                     f.add_blocker(thread)
                 thread.multi_flags = instr.flags
-                self._block(core, thread, f"any-of-{len(instr.flags)}-flags")
+                self._block(cid, thread, f"any-of-{len(instr.flags)}-flags")
         elif isinstance(instr, SpinOn):
-            cost = instr.flag.read(core.id)
+            cost = instr.flag.read(cid)
             if instr.flag.is_set:
-                self._resume_after(core, thread, cost)
+                self._resume_after(cid, thread, cost)
             else:
                 start = self.engine.now
 
                 def spun() -> None:
                     thread.spin_cancel = None
-                    if thread.state is _RUNNING and core.current is thread:
-                        self._charge(core, thread, self.engine.now - start)
-                        self.engine.post_soon(self._advance, core, thread)
+                    if thread.state is _RUNNING and self._cur[cid] is thread:
+                        self._charge(cid, thread, self.engine.now - start)
+                        self.engine.post_soon(self._advance, cid, thread)
                     else:  # pragma: no cover - defensive
                         raise RuntimeError(
                             f"flag {instr.flag.name!r} woke a descheduled "
                             f"spinner {thread.name!r}"
                         )
 
-                entry = instr.flag.add_spinner(core.id, spun)
+                entry = instr.flag.add_spinner(cid, spun)
                 flag = instr.flag
                 thread.spin_cancel = (lambda: flag.remove_spinner(entry), instr)
         elif isinstance(instr, SetFlag):
-            cost = instr.flag.set(core.id)
-            self._resume_after(core, thread, cost)
+            cost = instr.flag.set(cid)
+            self._resume_after(cid, thread, cost)
         elif isinstance(instr, Sleep):
             thread.sleep_event = self.engine.schedule(instr.ns, self._sleep_wake, thread)
-            self._block(core, thread, f"sleep:{instr.ns}")
+            self._block(cid, thread, f"sleep:{instr.ns}")
         elif isinstance(instr, YieldCPU):
             thread.state = TState.READY
             thread.rq_seq = self._rr_seq
             self._rr_seq += 1
-            core.run_queue.append(thread)
-            core.current = None
-            core.preempt_pending = False
-            self.engine.post_soon(self._dispatch, core.id)
+            self._rqs[cid].append(thread)
+            self._cur[cid] = None
+            self._preempt[cid] = False
+            self.engine.post_soon(self._dispatch, cid)
         elif isinstance(instr, Park):
-            if thread is not core.idle_thread:
+            if thread is not self.cores[cid].idle_thread:
                 raise RuntimeError("only the idle thread may Park")
-            self._block(core, thread, "parked")
+            self._block(cid, thread, "parked")
         else:
             raise TypeError(f"unknown instruction {instr!r} from {thread!r}")
 
@@ -1089,7 +1217,7 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _count_hard_blocked(self) -> int:
         """Threads blocked with no pending event to free them (deadlock
-        candidates once the heap drains).  Parked idle loops and sleepers
+        candidates once the queue drains).  Parked idle loops and sleepers
         are excluded — sleepers hold a live timer event anyway."""
         n = 0
         for t in self.threads:
@@ -1110,7 +1238,7 @@ class Scheduler:
         return sum(c.keypoint_counts[kind] for c in self.cores)
 
     def core_busy_ns(self) -> list[int]:
-        return [c.busy_ns for c in self.cores]
+        return list(self._busy)
 
     def core_metrics(self) -> dict[str, Any]:
         """Per-core scheduler counters for the metrics registry.

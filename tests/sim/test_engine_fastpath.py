@@ -69,8 +69,10 @@ def test_fractional_delay_rounds_up():
 
 
 def test_pool_recycles_carriers():
-    """Fire-and-forget carriers are reused instead of reallocated."""
-    eng = Engine()
+    """Fire-and-forget carriers are reused instead of reallocated.
+
+    Heap core only: the wheel core posts carrier-free tuples."""
+    eng = Engine(core="heap")
     for _ in range(5):
         eng.post(1, lambda: None)
     eng.run()
@@ -84,7 +86,7 @@ def test_pool_recycles_carriers():
 
 
 def test_pooled_carrier_drops_references_after_fire():
-    eng = Engine()
+    eng = Engine(core="heap")
     eng.post(1, lambda x: None, "payload")
     eng.run()
     (ev,) = eng._pool
