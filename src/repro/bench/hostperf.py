@@ -22,6 +22,10 @@ The matrix deliberately spans the simulator's distinct hot paths:
   steady state on a deep chiplet machine, run with the occupancy-summary
   fast path on and off: the pair's ev/s ratio is the fast path's measured
   speedup, and their virtual outcomes must be identical;
+* ``leap_on`` / ``leap_off`` — the same idle-heavy steady state with the
+  quiescence leap (:mod:`repro.core.leap`) pinned on and off: the pair's
+  ev/s ratio is the leap's measured speedup and their fingerprints must
+  be fully identical (the leap replays every counter);
 * ``fault_net`` / ``fault_slowcore`` / ``fault_storm`` — the same stack
   under :mod:`repro.faults` injection (packet loss + reorder with
   timeout retransmit, straggler cores, cancellation storms with
@@ -313,6 +317,7 @@ def _idle_spin_scenario(
     seed: int,
     fastpath: bool = True,
     best_of: int = 3,
+    leap: Optional[bool] = None,
 ) -> ScenarioResult:
     """Idle-heavy spin-polling on a deep chiplet machine (24 cores).
 
@@ -324,6 +329,12 @@ def _idle_spin_scenario(
     summary disabled; the two entries' ev/s ratio is the fast path's
     speedup and their fingerprints (minus ``summary_hits``) must match
     exactly — determinism is part of the contract.
+
+    ``leap`` pins the quiescence leap (:mod:`repro.core.leap`) on or off
+    regardless of the process default; the leap_on/leap_off matrix pair
+    uses it to run the same simulation both ways, and that pair's
+    fingerprints must be **fully** identical — the leap replays every
+    counter, including ``summary_hits``.
 
     ``best_of`` re-runs the identical workload in fresh engines and keeps
     the fastest wall time: idle passes are microsecond-scale, so a single
@@ -344,7 +355,8 @@ def _idle_spin_scenario(
         machine = ccx_machine()
         engine = Engine()
         sched = Scheduler(machine, engine, rng=Rng(seed), true_spin=True)
-        pioman = PIOMan(machine, engine, sched, summary_fastpath=fastpath)
+        kwargs = {} if leap is None else {"quiescence_leap": leap}
+        pioman = PIOMan(machine, engine, sched, summary_fastpath=fastpath, **kwargs)
         ncores = machine.ncores
 
         def driver(ctx):
@@ -593,7 +605,7 @@ def _fault_storm_scenario(
 # the matrix
 # ----------------------------------------------------------------------
 def matrix_specs(*, quick: bool = False, seed: int = 7) -> list:
-    """The fixed 12-scenario matrix as :class:`repro.par.JobSpec` jobs.
+    """The fixed 14-scenario matrix as :class:`repro.par.JobSpec` jobs.
 
     Each scenario carries its own derived seed in the spec, so its
     simulated outcome (the fingerprint) is fixed before any worker runs —
@@ -650,6 +662,26 @@ def matrix_specs(*, quick: bool = False, seed: int = 7) -> list:
             kwargs=dict(name="idle_spin_nosummary", duration_us=75 * scale,
                         gap_us=20, seed=seed + 5, fastpath=False,
                         best_of=1 if quick else 5),
+        ),
+        # leap_on / leap_off share a seed on purpose: the SAME simulation
+        # with the quiescence leap (repro.core.leap) on and off, so the
+        # pair's ev/s ratio is the leap's measured speedup — and their
+        # fingerprints must be FULLY identical (the leap replays every
+        # counter, summary_hits included; nothing is excluded from the
+        # comparison the way idle_spin_nosummary excludes summary_hits).
+        JobSpec(
+            name="leap_on",
+            target=f"{mod}:_idle_spin_scenario",
+            kwargs=dict(name="leap_on", duration_us=150 * scale, gap_us=25,
+                        seed=seed + 10, fastpath=True, leap=True,
+                        best_of=1 if quick else 3),
+        ),
+        JobSpec(
+            name="leap_off",
+            target=f"{mod}:_idle_spin_scenario",
+            kwargs=dict(name="leap_off", duration_us=150 * scale, gap_us=25,
+                        seed=seed + 10, fastpath=True, leap=False,
+                        best_of=1 if quick else 3),
         ),
         # hostile-world scenarios (repro.faults): same determinism contract
         # as the clean ones — the *fault* counters are in the fingerprint,
@@ -748,6 +780,16 @@ def format_host_perf(report: HostPerfReport) -> str:
             lines.append(
                 "event core (wheel vs heap): "
                 f"{wheel.events_per_sec / heap.events_per_sec:.2f}x on core pair"
+            )
+    except KeyError:
+        pass
+    try:
+        lon = report.scenario("leap_on")
+        loff = report.scenario("leap_off")
+        if loff.events_per_sec:
+            lines.append(
+                "quiescence leap: "
+                f"{lon.events_per_sec / loff.events_per_sec:.2f}x on leap pair"
             )
     except KeyError:
         pass
@@ -953,9 +995,12 @@ def run_profiled(
 
     Returns a jsonable artifact: for each scenario, the ``top`` functions
     by tottime plus the scenario's (distorted — the profiler adds per-call
-    overhead) throughput.  Meant for ``perf --profile``, so a regression
-    flagged by the gate can be attributed to a function without rerunning
-    anything by hand.
+    overhead) throughput, and an **aggregate** section merging every
+    scenario's stats into one matrix-wide ranking — the next optimisation
+    target is readable from one artifact instead of eyeballing per-
+    scenario lists against each other.  Meant for ``perf --profile``, so
+    a regression flagged by the gate can be attributed to a function
+    without rerunning anything by hand.
     """
     import cProfile
     import pstats
@@ -963,11 +1008,20 @@ def run_profiled(
     from repro.par.jobs import resolve_target
 
     scenarios = []
+    merged: dict = {}  # func key -> [ncalls, tottime, cumtime]
     for spec in matrix_specs(quick=quick, seed=seed):
         fn = resolve_target(spec.target)
         prof = cProfile.Profile()
         result = prof.runcall(fn, **spec.kwargs)
         stats = pstats.Stats(prof)
+        for key, (cc, nc, tt, ct, _callers) in stats.stats.items():
+            acc = merged.get(key)
+            if acc is None:
+                merged[key] = [nc, tt, ct]
+            else:
+                acc[0] += nc
+                acc[1] += tt
+                acc[2] += ct
         rows = sorted(
             stats.stats.items(), key=lambda kv: kv[1][2], reverse=True
         )[:top]
@@ -985,6 +1039,19 @@ def run_profiled(
                 for (fname, lineno, func), (cc, nc, tt, ct, _callers) in rows
             ],
         })
+    agg_rows = sorted(merged.items(), key=lambda kv: kv[1][1], reverse=True)[:top]
+    aggregate = {
+        "events": sum(s["events"] for s in scenarios),
+        "top": [
+            {
+                "func": f"{fname}:{lineno}:{func}",
+                "ncalls": nc,
+                "tottime_ms": round(tt * 1e3, 3),
+                "cumtime_ms": round(ct * 1e3, 3),
+            }
+            for (fname, lineno, func), (nc, tt, ct) in agg_rows
+        ],
+    }
     return {
         "meta": {
             "kind": "host_perf_profile",
@@ -995,6 +1062,7 @@ def run_profiled(
             "python": sys.version.split()[0],
         },
         "scenarios": scenarios,
+        "aggregate_profile": aggregate,
     }
 
 
@@ -1003,6 +1071,14 @@ def format_profile(doc: dict, *, show: int = 5) -> str:
     for s in doc["scenarios"]:
         lines.append(f"{s['name']}  ({s['events']} events)")
         for row in s["top"][:show]:
+            lines.append(
+                f"  {row['tottime_ms']:>9.2f} ms  {row['ncalls']:>8} calls  "
+                f"{row['func']}"
+            )
+    agg = doc.get("aggregate_profile")
+    if agg:
+        lines.append(f"AGGREGATE (whole matrix, {agg['events']} events)")
+        for row in agg["top"][: 2 * show]:
             lines.append(
                 f"  {row['tottime_ms']:>9.2f} ms  {row['ncalls']:>8} calls  "
                 f"{row['func']}"

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.core.hierarchy import QueueFactory, QueueHierarchy
+from repro.core.leap import DEFAULT_LEAP, QuiescenceLeap
 from repro.core.queues import TaskQueue
 from repro.core.task import LTask, TaskState
 from repro.obs.histogram import Histogram
@@ -96,6 +97,7 @@ class PIOMan:
         name: str = "pioman",
         registry: Optional["MetricsRegistry"] = None,
         summary_fastpath: bool = True,
+        quiescence_leap: Optional[bool] = None,
     ) -> None:
         self.machine = machine
         self.engine = engine
@@ -169,11 +171,26 @@ class PIOMan:
             registry.register(f"{name}.summary", self.hierarchy.summary_stats)
             for queue in self.hierarchy.queues():
                 queue.register_into(registry, prefix=name)
+        # Quiescence leap (repro.core.leap): opt-out via the
+        # ``quiescence_leap`` argument or ``REPRO_LEAP=0``; requires the
+        # summary fast path (the leap replays its accounting) and a
+        # true_spin scheduler (the only world with provably periodic
+        # idle carriers).  One controller per engine: the first eligible
+        # manager installs it.
+        self.quiescence_leap = (
+            DEFAULT_LEAP if quiescence_leap is None else bool(quiescence_leap)
+        )
         if scheduler is not None:
             scheduler.progression_hook = self.schedule_once
             if self.summary_fastpath:
                 scheduler.progression_fast = self.fast_pass
                 scheduler.progression_fast_done = self._rec_pass_empty
+                if (
+                    self.quiescence_leap
+                    and scheduler.true_spin
+                    and engine.leap is None
+                ):
+                    engine.leap = QuiescenceLeap(engine, scheduler, self)
 
     # ------------------------------------------------------------------
     # task construction & submission
@@ -323,6 +340,38 @@ class PIOMan:
             lstats.read_hits += 1
             qstats.empty_checks += 1
         return compute
+
+    def leap_ready(self, core: int) -> Optional[int]:
+        """Quiescence-leap eligibility probe: when ``core`` is primed
+        (its next pass would take :meth:`fast_pass`), return the batched
+        pass cost in ns — *without* doing any accounting — else None.
+        """
+        if not self.hierarchy.primed_mask >> core & 1:
+            return None
+        return self._fast_compute[core].ns
+
+    def leap_commit(self, core: int, k1: int, k2: int, span_ns: int) -> None:
+        """Replay elided :meth:`fast_pass` rounds in O(1).
+
+        The two sides of a poll cycle are batched separately because the
+        leap may replay one of them through a real generator resume:
+        ``k1`` pass *starts* (the fast_pass counter bumps) and ``k2``
+        pass *completions* (the ``progression_fast_done`` record the
+        idle loop issues after each).  ``span_ns`` is the realized
+        per-pass span (the batched Compute cost, skew-stretched by the
+        caller) — same counters, same histogram state as ``k1``/``k2``
+        slow iterations.
+        """
+        stats, sstats, pairs, _compute = self._fast_ctx[core]
+        if k1:
+            stats.schedule_passes += k1
+            sstats.summary_hits += k1
+            for qstats, lstats in pairs:
+                lstats.reads += k1
+                lstats.read_hits += k1
+                qstats.empty_checks += k1
+        if k2:
+            self.latency.schedule_pass_empty.record_many(span_ns, k2)
 
     def schedule_once(self, core: int) -> Generator[Instr, Any, tuple[int, int, bool]]:
         """One full Algorithm-1 pass on ``core``.

@@ -84,6 +84,12 @@ class DiffReport:
     kind: str
     entries: list[DiffEntry] = field(default_factory=list)
     headline: str = ""
+    #: scenario names present only in B / only in A.  The matrix grows
+    #: over time, so a baseline recorded before a new scenario existed is
+    #: the *common* case for the perf-smoke blame report — disjoint sets
+    #: are reported, never an error.
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
 
     def to_jsonable(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -135,6 +141,8 @@ def _diff_hostperf(a: dict, b: dict) -> DiffReport:
     a_by = {s["name"]: s for s in a.get("scenarios", [])}
     b_by = {s["name"]: s for s in b.get("scenarios", [])}
     entries: list[DiffEntry] = []
+    added = sorted(set(b_by) - set(a_by))
+    removed = sorted(set(a_by) - set(b_by))
     for name in sorted(set(a_by) | set(b_by)):
         sa, sb = a_by.get(name), b_by.get(name)
         if sa is None or sb is None:
@@ -142,7 +150,8 @@ def _diff_hostperf(a: dict, b: dict) -> DiffReport:
                 DiffEntry(
                     name=name,
                     ratio=None,
-                    headline="only in B" if sa is None else "only in A",
+                    headline="added (only in B)" if sa is None
+                    else "removed (only in A)",
                 )
             )
             continue
@@ -189,7 +198,21 @@ def _diff_hostperf(a: dict, b: dict) -> DiffReport:
     headline = (
         f"aggregate {100 * agg:+.1f}% ev/s" if agg is not None else "aggregate n/a"
     )
-    return DiffReport(kind="host_perf", entries=entries, headline=headline)
+    if added or removed:
+        # disjoint scenario sets are normal (the matrix grows); say so in
+        # the headline instead of letting the aggregate ratio mislead
+        bits = []
+        if added:
+            bits.append(f"{len(added)} scenario{'s' if len(added) > 1 else ''} added")
+        if removed:
+            bits.append(
+                f"{len(removed)} scenario{'s' if len(removed) > 1 else ''} removed"
+            )
+        headline += " (" + ", ".join(bits) + " — compared on the overlap)"
+    return DiffReport(
+        kind="host_perf", entries=entries, headline=headline,
+        added=added, removed=removed,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -328,6 +351,10 @@ def format_diff(report: DiffReport, top_items: int = 4) -> str:
         extra = len(e.items) - top_items
         if extra > 0:
             lines.append(f"       ... {extra} more")
+    if report.added:
+        lines.append(f"  added in B: {', '.join(report.added)}")
+    if report.removed:
+        lines.append(f"  removed in B: {', '.join(report.removed)}")
     if not report.entries:
         lines.append("  (nothing to compare)")
     return "\n".join(lines)

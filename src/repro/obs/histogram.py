@@ -25,7 +25,7 @@ counters it explains.
 
 from __future__ import annotations
 
-from typing import Iterable, Union
+from typing import Union
 
 Number = Union[int, float]
 
@@ -76,9 +76,37 @@ class Histogram:
         self._count = count + 1
         self._sum += v
 
-    def record_many(self, values: Iterable[Number]) -> None:
-        for v in values:
-            self.record(v)
+    def record_many(self, value: Number, count: int) -> None:
+        """Record ``count`` identical samples in O(1).
+
+        Snapshot-identical to calling :meth:`record` ``count`` times with
+        the same ``value`` — same buckets, count, sum, min/max, and hence
+        the same percentiles — but one bucket increment regardless of
+        ``count``.  This is what lets the quiescence leap replay thousands
+        of elided idle-pass latency samples without a per-sample loop.
+        """
+        k = int(count)
+        if k <= 0:
+            return
+        v = int(value)
+        if v < 0:
+            v = 0
+        try:
+            self._buckets[v.bit_length()] += k
+        except IndexError:  # beyond the preallocated range: grow once
+            buckets = self._buckets
+            buckets.extend([0] * (v.bit_length() + 1 - len(buckets)))
+            buckets[v.bit_length()] += k
+        if self._count:
+            if v > self._max:
+                self._max = v
+            elif v < self._min:
+                self._min = v
+        else:
+            self._min = v
+            self._max = v
+        self._count += k
+        self._sum += v * k
 
     def merge(self, other: "Histogram") -> None:
         """Fold ``other``'s samples into this histogram."""

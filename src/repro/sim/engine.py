@@ -169,6 +169,10 @@ class Engine:
         #: callables that report the number of actors still blocked waiting
         #: for a simulation event; consulted on drain for deadlock detection.
         self.blocked_reporters: list[Callable[[], int]] = []
+        #: quiescence-leap controller (:class:`repro.core.leap
+        #: .QuiescenceLeap`), installed by PIOMan on eligible worlds;
+        #: the run loops consult it only when its ``armed`` hint is set.
+        self.leap = None
 
     # ------------------------------------------------------------------
     # shared API
@@ -205,6 +209,18 @@ class Engine:
                 f"{blocked} actor(s) still blocked"
             )
         return self.now
+
+    def next_external_time(self, carriers: set) -> Optional[int]:
+        """Earliest live queued event that is not one of ``carriers``.
+
+        ``carriers`` is a set of cancellable :class:`Event` handles the
+        quiescence leap has classified as elidable periodic idle
+        carriers; everything else — fire-and-forget posts, other
+        handles — is *external* and bounds the leap.  Returns None when
+        no external event is queued.  Read-only: never pops, recycles,
+        or reorders queue state.
+        """
+        raise NotImplementedError
 
     # subclass responsibilities
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
@@ -435,6 +451,41 @@ class WheelEngine(Engine):
                 heappush(self._over, e)
         nq.clear()
 
+    def next_external_time(self, carriers: set) -> Optional[int]:
+        """See :meth:`Engine.next_external_time`.
+
+        Walks the engine tiers cheapest-first without scanning past the
+        answer: the same-instant FIFO (any entry bounds the leap at
+        ``now``), then the occupied-bucket index in time order — the
+        first bucket containing an external entry holds the minimum,
+        because inter-bucket order is time order — and only if the whole
+        wheel is carrier-only, the overflow heap (every overflow time is
+        >= every wheel time).
+        """
+        if self._nowq:
+            return self.now
+        slots = self._slots
+        for pos in self._bidx:
+            best = None
+            for e in slots[pos & WHEEL_MASK]:
+                if e[2] is None:
+                    ev = e[3]
+                    if not ev.alive or ev in carriers:
+                        continue
+                if best is None or e[0] < best:
+                    best = e[0]
+            if best is not None:
+                return best
+        best = None
+        for e in self._over:
+            if e[2] is None:
+                ev = e[3]
+                if not ev.alive or ev in carriers:
+                    continue
+            if best is None or e[0] < best:
+                best = e[0]
+        return best
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -539,6 +590,15 @@ class WheelEngine(Engine):
             while True:
                 if budget is not None and budget <= 0:
                     return self.now
+                # Quiescence leap: consulted between buckets (the idle
+                # steady state crosses a bucket boundary within one wheel
+                # turn, so the hint is seen promptly) and only on
+                # unbudgeted runs — a leap fires many events per call,
+                # which a max_events bound must count one at a time.
+                lp = self.leap
+                if lp is not None and lp.armed and budget is None and not nowq:
+                    if lp.attempt(hi):
+                        cur = self.now
                 if not bidx:
                     if over:
                         # wheel empty: jump the window to the overflow head
@@ -811,6 +871,19 @@ class HeapEngine(Engine):
         self._live += 1
         heappush(self._heap, (time, seq, ev))
 
+    def next_external_time(self, carriers: set) -> Optional[int]:
+        """See :meth:`Engine.next_external_time`.  Linear scan — the
+        heap core has no tier structure to exploit, and the scan runs
+        only on leap attempts (not per event)."""
+        best = None
+        for e in self._heap:
+            ev = e[2]
+            if not ev.alive or ev in carriers:
+                continue
+            if best is None or e[0] < best:
+                best = e[0]
+        return best
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -879,6 +952,9 @@ class HeapEngine(Engine):
                 nfired = 0
                 try:
                     while True:
+                        lp = self.leap
+                        if lp is not None and lp.armed:
+                            lp.attempt(None)
                         if not heap:
                             t = self._drained()
                             if t is None:
@@ -913,6 +989,11 @@ class HeapEngine(Engine):
             while True:
                 if max_events is not None and self.fired - fired_at_entry >= max_events:
                     return self.now
+                # bounded-run leap: only without an event budget (a leap
+                # fires many events at once, uncountable against one)
+                lp = self.leap
+                if lp is not None and lp.armed and max_events is None:
+                    lp.attempt(until)
                 while heap:
                     ev = heap[0][2]
                     if ev.alive:

@@ -204,6 +204,13 @@ class Scheduler:
         #: interned ``(core_id,)`` argument tuples for the inlined
         #: ``post_soon(self._dispatch, cid)`` dispatch kicks
         self._cid_args: list[tuple[int]] = [(i,) for i in range(ncores)]
+        #: per-core marker: the idle generator is suspended at the fast
+        #: path's batched-Compute yield (set/cleared by the idle body
+        #: around that one yield).  The quiescence leap needs this to
+        #: prove a mid-pass core is at the *known* suspension point —
+        #: a slow-pass Compute of coincidentally equal cost would
+        #: otherwise be indistinguishable from the outside.
+        self._in_fast: list[bool] = [False] * ncores
         self.cores = [CoreState(i, self) for i in range(ncores)]
         self.progression_hook: Optional[ProgressionHook] = None
         #: O(1) empty-pass accessory to the hook (see PIOMan.fast_pass):
@@ -236,6 +243,13 @@ class Scheduler:
         #: :meth:`repro.faults.FaultInjector.install`; None (the default)
         #: leaves the interpreter's instruction stream untouched.
         self.core_skew: Optional[list] = None
+        #: lookahead barriers consulted by the quiescence leap
+        #: (:mod:`repro.core.leap`): callables ``barrier(now) ->
+        #: Optional[int]`` returning the earliest future time an
+        #: installed subsystem (e.g. a fault injector) could act outside
+        #: the event queue, or None when all its activity is
+        #: event-carried.  The leap never crosses a returned time.
+        self.leap_barriers: list = []
         self._seq = 0
         self._rr_seq = 0
         #: timer quantum cached off the (immutable) spec: read once per
@@ -326,6 +340,7 @@ class Scheduler:
         rq = self._rqs[core_id]
         true_spin = self.true_spin
         linger_max = self.idle_linger_probes
+        in_fast = self._in_fast
         while True:
             counts[kp_idle] += 1
             hook_t0 = engine.now
@@ -333,8 +348,12 @@ class Scheduler:
             if instr is not None:
                 # Settled-empty pass: the accessory already did the pass
                 # accounting; yield its batched cost directly, skipping a
-                # generator creation + two resumes per pass.
+                # generator creation + two resumes per pass.  The marker
+                # brackets exactly this yield: the quiescence leap may
+                # only resume a generator it can prove is suspended here.
+                in_fast[core_id] = True
                 yield instr
+                in_fast[core_id] = False
                 span = engine.now - hook_t0
                 hist.record(span)
                 fast_done(span)
@@ -1031,6 +1050,13 @@ class Scheduler:
                     heappush(engine._heap, (t, seq, ev))
                 thread.sleep_event = ev
                 self._block(cid, thread, "sleep")
+                # an idle thread re-entering its sleeping steady state is
+                # the quiescence-leap trigger; arming is a hint only —
+                # attempt() re-proves eligibility from scratch
+                if thread.prio is Prio.IDLE:
+                    lp = engine.leap
+                    if lp is not None:
+                        lp.armed = True
             else:
                 thread.sleep_event = self.engine.schedule(ns, self._sleep_wake, thread)
                 self._block(cid, thread, f"sleep:{ns}")

