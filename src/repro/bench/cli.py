@@ -53,6 +53,16 @@ def _ints(text: str) -> list[int]:
     return [int(x) for x in text.split(",") if x]
 
 
+def _jobs_arg(text: str) -> int:
+    """``--jobs`` values: a positive count, or 0/'auto' = every CPU."""
+    from repro.par import resolve_jobs
+
+    try:
+        return resolve_jobs(int(text))
+    except ValueError:
+        return resolve_jobs(text)
+
+
 def _analyze_main(argv: Sequence[str]) -> int:
     """The ``analyze`` subcommand: offline report over a --trace-out file."""
     from repro.obs.analyze import analyze_trace_file, format_analysis
@@ -241,6 +251,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.bench.hostperf import main as perf_main
 
         return perf_main(list(argv[1:]))
+    if argv and argv[0] == "cluster-scale":
+        from repro.bench.cluster_scale import main as scale_main
+
+        return scale_main(list(argv[1:]))
     ap = argparse.ArgumentParser(
         prog="repro-bench", description="Regenerate the paper's tables and figures."
     )
@@ -259,10 +273,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     ap.add_argument("--points", type=int, default=9, help="overlap points per curve")
     ap.add_argument("--iters", type=int, default=4, help="fig4 iterations per thread")
     ap.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
         help="fan independent targets out over N worker processes "
-        "(default 1 = in-process serial; results are bit-identical "
-        "either way)",
+        "('auto' or 0 = every CPU; default 1 = in-process serial; "
+        "results are bit-identical either way)",
     )
     ap.add_argument(
         "--job-timeout", type=float, default=None, metavar="S",

@@ -30,7 +30,11 @@ The matrix deliberately spans the simulator's distinct hot paths:
   under :mod:`repro.faults` injection (packet loss + reorder with
   timeout retransmit, straggler cores, cancellation storms with
   lock-holder preemption): hostile worlds are part of the determinism
-  contract too, so their fault counters live in the fingerprints.
+  contract too, so their fault counters live in the fingerprints;
+* ``cluster_shard2`` — a generated workload run whole and split into two
+  serial shards (:mod:`repro.cluster.shard`): the pair's fingerprints
+  must be identical, so the perf gate also covers the conservative
+  window-sync protocol on every PR.
 
 Each scenario also returns a **fingerprint** of the simulated outcome
 (final virtual time, events fired, key scheduler counters).  The
@@ -601,11 +605,60 @@ def _fault_storm_scenario(
     )
 
 
+def _cluster_sharded_scenario(
+    name: str, nnodes: int, reqs: int, seed: int
+) -> ScenarioResult:
+    """Compact sharded-cluster run: the conservative-lookahead shard
+    protocol (:mod:`repro.cluster.shard`) on a generated workload.
+
+    Runs the same scenario single-process (``nshards=1``) and split in
+    two (``nshards=2``), both in serial mode — hostperf scenarios may
+    themselves run inside daemonic ``--jobs`` workers, which cannot fork.
+    The two fingerprints must be identical (the shard identity contract);
+    the reported throughput is the two runs combined, so the perf gate
+    covers the window-sync machinery itself, not just one shard count.
+    """
+    from repro.cluster.shard import run_sharded
+    from repro.cluster.workload import WorkloadSpec, verify_completion
+
+    spec = WorkloadSpec(
+        nnodes=nnodes, requests_per_node=reqs, pattern="ring",
+        arrival="closed", mean_gap_ns=20_000, think_ns=5_000,
+        rdv_fraction=0.25, seed=seed,
+    )
+    kwargs = {"spec": spec, "machine": "smp1x2", "trace": False}
+    builder = "repro.cluster.workload:build_workload_cluster"
+    r1 = run_sharded(builder, kwargs, nshards=1, serial=True)
+    r2 = run_sharded(builder, kwargs, nshards=2, serial=True)
+    if r1.fingerprint() != r2.fingerprint():
+        raise RuntimeError(
+            f"{name}: sharded fingerprint diverged from single-process "
+            f"({r2.fingerprint()[:16]}… vs {r1.fingerprint()[:16]}…)"
+        )
+    verify_completion(r1.snapshot, spec)
+    events = r1.fired + r2.fired
+    wall_ms = r1.wall_ms + r2.wall_ms
+    return ScenarioResult(
+        name=name,
+        events=events,
+        wall_ms=wall_ms,
+        events_per_sec=events / (wall_ms / 1e3) if wall_ms else 0.0,
+        virtual_ns=r1.virtual_ns,
+        fingerprint={
+            "fired": r1.fired,
+            "virtual_ns": r1.virtual_ns,
+            "windows_2shard": r2.windows,
+            "run_fingerprint": r1.fingerprint(),
+            "identical": True,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # the matrix
 # ----------------------------------------------------------------------
 def matrix_specs(*, quick: bool = False, seed: int = 7) -> list:
-    """The fixed 14-scenario matrix as :class:`repro.par.JobSpec` jobs.
+    """The fixed 15-scenario matrix as :class:`repro.par.JobSpec` jobs.
 
     Each scenario carries its own derived seed in the spec, so its
     simulated outcome (the fingerprint) is fixed before any worker runs —
@@ -721,6 +774,15 @@ def matrix_specs(*, quick: bool = False, seed: int = 7) -> list:
             kwargs=dict(name="core_heap", decoys=5 * scale, gap_us=20,
                         seed=seed + 9, engine_core="heap",
                         best_of=1 if quick else 3),
+        ),
+        # the shard protocol itself: a generated workload run whole and
+        # split in two (serial shards), fingerprints required identical —
+        # the perf-regression gate covers the window-sync path on every PR
+        JobSpec(
+            name="cluster_shard2",
+            target=f"{mod}:_cluster_sharded_scenario",
+            kwargs=dict(name="cluster_shard2", nnodes=6, reqs=2 * scale,
+                        seed=seed + 11),
         ),
     ]
 
@@ -1086,6 +1148,16 @@ def format_profile(doc: dict, *, show: int = 5) -> str:
     return "\n".join(lines)
 
 
+def _jobs_arg(text: str) -> int:
+    """``--jobs`` values: a positive count, or 0/'auto' = every CPU."""
+    from repro.par import resolve_jobs
+
+    try:
+        return resolve_jobs(int(text))
+    except ValueError:
+        return resolve_jobs(text)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """The ``perf`` subcommand body (called from :mod:`repro.bench.cli`)."""
     import argparse
@@ -1100,10 +1172,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     ap.add_argument("--quick", action="store_true",
                     help="reduced matrix for CI smoke runs")
     ap.add_argument("--seed", type=int, default=7)
-    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+    ap.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
                     help="run the scenario matrix over N worker processes "
-                    "(default 1 = serial; virtual outcomes are identical "
-                    "either way)")
+                    "('auto' or 0 = every CPU; default 1 = serial; virtual "
+                    "outcomes are identical either way)")
     ap.add_argument("--job-timeout", type=float, default=None, metavar="S",
                     help="per-scenario wall-clock limit in seconds when "
                     "using --jobs")

@@ -1,5 +1,25 @@
-"""Multi-node cluster harness."""
+"""Multi-node cluster harness.
+
+* :class:`Cluster` / :class:`Node` — N simulated nodes on one virtual
+  clock and fabric (optionally built as one shard of a larger world);
+* :mod:`repro.cluster.shard` — conservative-lookahead sharding: the
+  cluster partitioned over forked processes, bit-identical to the
+  single-process run;
+* :mod:`repro.cluster.workload` — the seeded cluster-scale workload
+  generator (open/closed-loop arrivals, bursty/diurnal modulation,
+  incast fan-in, collective phases).
+"""
 
 from repro.cluster.cluster import Cluster, Node
+from repro.cluster.shard import ShardRunResult, ShardSpec, run_sharded
+from repro.cluster.workload import WorkloadSpec, build_workload_cluster
 
-__all__ = ["Cluster", "Node"]
+__all__ = [
+    "Cluster",
+    "Node",
+    "ShardRunResult",
+    "ShardSpec",
+    "WorkloadSpec",
+    "build_workload_cluster",
+    "run_sharded",
+]

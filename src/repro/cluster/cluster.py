@@ -5,10 +5,21 @@ topology, thread scheduler and PIOMan instance — onto one shared virtual
 clock and one fabric.  This mirrors the paper's testbed: BORDERLINE is a
 cluster of 8-core Opteron boxes, each holding one Myri-10G and one
 ConnectX InfiniBand NIC, evaluated over InfiniBand (§V-B).
+
+A cluster can also be built as one **shard** of a larger simulated
+cluster (``shard=(index, count)``): node ids keep their global meaning,
+but only the ids owned by this shard (``id % count == index``) are
+instantiated locally.  Frames to non-local nodes leave through the
+fabric's ``remote_sink`` — the conservative-lookahead coordinator in
+:mod:`repro.cluster.shard` carries them across processes.  Sharded runs
+require per-entity randomness (``jitter_mode="per_link"``,
+``fault_scope="node"``) so that no RNG stream is shared across nodes
+that may land in different processes.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Optional, Sequence
 
 from repro.core.manager import PIOMan
@@ -17,6 +28,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.net.driver import DriverSpec, IB_CONNECTX
 from repro.net.fabric import Fabric
 from repro.net.nic import Nic
+from repro.par.jobs import derive_seed
 from repro.sim.engine import Engine
 from repro.sim.rng import Rng
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -42,6 +54,7 @@ class Node:
         queue_factory: Callable = TaskQueue,
         registry=None,
         summary_fastpath: bool = True,
+        quiescence_leap: Optional[bool] = None,
     ) -> None:
         self.id = node_id
         self.machine = machine
@@ -60,6 +73,7 @@ class Node:
             name=f"pioman@{node_id}",
             registry=registry,
             summary_fastpath=summary_fastpath,
+            quiescence_leap=quiescence_leap,
         )
         self.nics: list[Nic] = [
             fabric.new_nic(node_id, drv, index=i) for i, drv in enumerate(drivers)
@@ -83,7 +97,22 @@ class Node:
 
 
 class Cluster:
-    """N homogeneous nodes over one fabric and one virtual clock."""
+    """N homogeneous nodes over one fabric and one virtual clock.
+
+    ``core`` / ``quiescence_leap`` select the engine core ("wheel" or
+    "heap") and the idle-poll fast-forward per cluster, without the
+    ``REPRO_ENGINE_CORE`` / ``REPRO_LEAP`` env games (A/B runs build two
+    clusters side by side).  ``shard=(index, count)`` instantiates only
+    the nodes this shard owns — see the module docstring.  In a sharded
+    build, ``nnodes`` stays the *global* node count.
+
+    ``fault_scope`` controls fault-RNG granularity: ``"run"`` (default)
+    keeps the original single injector whose streams are shared by every
+    node, ``"node"`` derives one injector per node (seed =
+    ``derive_seed(plan.seed, "node{id}")``) registered under
+    ``faults.node{id}`` — required for sharded runs, where a shared
+    stream's draw order would depend on the shard layout.
+    """
 
     def __init__(
         self,
@@ -98,14 +127,46 @@ class Cluster:
         registry=None,
         summary_fastpath: bool = True,
         faults: Optional[FaultPlan] = None,
+        core: Optional[str] = None,
+        quiescence_leap: Optional[bool] = None,
+        jitter_mode: str = "global",
+        fault_scope: str = "run",
+        shard=None,
     ) -> None:
         if nnodes < 1:
             raise ValueError("need at least one node")
-        self.engine = Engine()
+        if fault_scope not in ("run", "node"):
+            raise ValueError(
+                f"fault_scope must be 'run' or 'node', got {fault_scope!r}"
+            )
+        if shard is not None and not hasattr(shard, "owns"):
+            from repro.cluster.shard import ShardSpec
+
+            shard = ShardSpec(*shard)
+        self.engine = Engine(core=core)
         self.rng = Rng(seed)
-        self.fabric = Fabric(self.engine, rng=self.rng.fork(1))
+        self.fabric = Fabric(
+            self.engine, rng=self.rng.fork(1), jitter_mode=jitter_mode
+        )
         self.tracer = tracer
         self.registry = registry
+        self.nnodes = nnodes
+        self.shard = shard
+        if shard is not None and shard.count > 1:
+            if jitter_mode != "per_link" and any(d.jitter > 0 for d in drivers):
+                raise ValueError(
+                    "sharded clusters with jittered drivers need "
+                    "jitter_mode='per_link' (the global jitter stream's "
+                    "draw order depends on the shard layout)"
+                )
+            if faults is not None and faults.enabled() and fault_scope != "node":
+                raise ValueError(
+                    "sharded clusters with faults need fault_scope='node' "
+                    "(run-scoped fault streams are shared across nodes)"
+                )
+        local_ids = [
+            i for i in range(nnodes) if shard is None or shard.owns(i)
+        ]
         self.nodes = [
             Node(
                 i,
@@ -119,26 +180,50 @@ class Cluster:
                 queue_factory=queue_factory,
                 registry=registry,
                 summary_fastpath=summary_fastpath,
+                quiescence_leap=quiescence_leap,
             )
-            for i in range(nnodes)
+            for i in local_ids
         ]
+        self.node_by_id = {node.id: node for node in self.nodes}
         #: fault injector when a plan is attached (``faults=FaultPlan(...)``);
-        #: None keeps every hook cold — bit-identical to a plan-less run
+        #: None keeps every hook cold — bit-identical to a plan-less run.
+        #: With ``fault_scope="node"`` this stays None and
+        #: ``fault_injectors`` maps node id -> injector instead.
         self.faults: Optional[FaultInjector] = None
+        self.fault_injectors: dict[int, FaultInjector] = {}
         if faults is not None and faults.enabled():
-            injector = FaultInjector(faults, tracer=tracer)
-            injector.engine = self.engine
-            for node in self.nodes:
-                injector.install(
-                    scheduler=node.scheduler, pioman=node.pioman, nics=node.nics
-                )
-            if registry is not None:
-                registry.register("faults", injector.stats)
-            self.faults = injector
+            if fault_scope == "node":
+                for node in self.nodes:
+                    plan = replace(
+                        faults, seed=derive_seed(faults.seed, f"node{node.id}")
+                    )
+                    injector = FaultInjector(plan, tracer=tracer)
+                    injector.engine = self.engine
+                    injector.install(
+                        scheduler=node.scheduler, pioman=node.pioman,
+                        nics=node.nics,
+                    )
+                    if registry is not None:
+                        registry.register(
+                            f"faults.node{node.id}", injector.stats
+                        )
+                    self.fault_injectors[node.id] = injector
+            else:
+                injector = FaultInjector(faults, tracer=tracer)
+                injector.engine = self.engine
+                for node in self.nodes:
+                    injector.install(
+                        scheduler=node.scheduler, pioman=node.pioman,
+                        nics=node.nics,
+                    )
+                if registry is not None:
+                    registry.register("faults", injector.stats)
+                self.faults = injector
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run the shared engine (see :meth:`repro.sim.Engine.run`)."""
         return self.engine.run(until=until, max_events=max_events)
 
     def __repr__(self) -> str:
-        return f"<Cluster nodes={len(self.nodes)} t={self.engine.now}>"
+        shard = f" shard={self.shard.index}/{self.shard.count}" if self.shard else ""
+        return f"<Cluster nodes={len(self.nodes)}{shard} t={self.engine.now}>"

@@ -1,0 +1,392 @@
+"""Sharded cluster simulation with conservative-lookahead time sync.
+
+The single-process interpreter is the scaling wall: one Python event
+loop advances every node of the simulated cluster.  This module
+partitions a :class:`~repro.cluster.cluster.Cluster`'s nodes across
+long-lived forked shard processes (a :class:`~repro.par.ShardPool`),
+each running its own :class:`~repro.sim.engine.Engine` over its nodes'
+share of the fabric, synchronized by the classic conservative
+("CMB-style") window protocol:
+
+* **Lookahead** ``L`` — the fabric's minimum possible wire time: a frame
+  transmitted at time *t* cannot arrive before ``t + L``
+  (:meth:`repro.net.fabric.Fabric.min_lookahead_ns`; fault reordering
+  only *adds* delay, and a dropped frame's retransmit departs later
+  still, so faults never shrink it).
+* **Window** — the coordinator computes ``T_min`` = the minimum over
+  every shard's next local event time (PR 9's
+  ``Engine.next_external_time``) and every in-flight cross-shard frame's
+  arrival time, then grants the horizon ``H = T_min + L``.  Every shard
+  injects the frames addressed to it, runs ``engine.run(until=H)``, and
+  returns the frames it emitted (captured by the fabric's
+  ``remote_sink`` instead of being scheduled locally).
+* **Safety** — any event fired inside the window happens at ``>= T_min``,
+  so any frame it transmits arrives at ``>= T_min + L = H``: strictly
+  inside the *next* window.  No shard ever receives an event in its
+  past; there is no rollback, and the execution is deterministic by
+  construction.
+
+Identity, not just determinism: with per-entity RNG streams
+(``jitter_mode="per_link"``, ``fault_scope="node"``, per-NMad message
+ids) every node computes exactly the same event sequence regardless of
+which process hosts it, so the union of the shards' metric snapshots and
+the multiset of their trace records are **bit-identical** to the
+single-process run at any shard count — ``run_sharded(..., nshards=1)``
+is the single-process reference, and the test suite and CI gate compare
+fingerprints across shard counts.
+
+Blocked actors: a shard whose queue drains while threads wait on
+cross-shard receives is *not* deadlocked — the wake-up frame is in
+flight.  The shard runner therefore masks the engine's per-window
+deadlock check and the coordinator re-asserts it globally: if the whole
+cluster drains with blocked actors somewhere, that is a real
+:class:`~repro.sim.engine.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import resource
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.par import JobSpec, ShardPool
+from repro.par.jobs import resolve_target
+from repro.sim.engine import DeadlockError
+
+#: tag for workload builders: positional signature is fn(shard=..., **kwargs)
+BuilderRef = str
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """This process's slice of the node space: ``id % count == index``.
+
+    Round-robin ownership (rather than contiguous blocks) balances
+    neighbor-heavy patterns — a ring of N nodes splits its links evenly
+    across shards instead of giving each shard one boundary link.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or not (0 <= self.index < self.count):
+            raise ValueError(f"bad shard spec {self.index}/{self.count}")
+
+    def owns(self, node_id: int) -> bool:
+        return node_id % self.count == self.index
+
+
+def shard_of(node_id: int, count: int) -> int:
+    """Which shard index owns ``node_id`` under round-robin ownership."""
+    return node_id % count
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+class ShardRunner:
+    """In-worker harness: one cluster shard advanced window by window.
+
+    Lives inside a :class:`~repro.par.ShardPool` worker (or in-process in
+    serial mode).  The coordinator talks to it exclusively through the
+    public methods, all of which return picklable data.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.fabric = cluster.fabric
+        self.windows = 0
+        #: frames leaving this shard in the current window:
+        #: (arrive_at, dst_node, driver_name, rail_index, frame)
+        self._outbox: list[tuple] = []
+        self.fabric.remote_sink = self._capture
+        #: deadlock reporters are masked per window and re-checked
+        #: globally by the coordinator (module docstring)
+        self._reporters = self.engine.blocked_reporters
+
+    def _capture(self, src_nic, frame, arrive_at: int) -> None:
+        self._outbox.append(
+            (arrive_at, frame.dst_node, src_nic.driver.name, src_nic.index, frame)
+        )
+
+    # -- protocol -------------------------------------------------------
+    def lookahead_ns(self) -> Optional[int]:
+        """This shard's lower bound on cross-shard latency (None: no NICs)."""
+        return self.fabric.min_lookahead_ns()
+
+    def next_time(self) -> Optional[int]:
+        """Earliest live local event, or None when locally drained."""
+        return self.engine.next_external_time(set())
+
+    def window(self, frames: Sequence[tuple], hi: int):
+        """Inject inbound cross-shard frames, advance to ``hi``.
+
+        Returns ``(outbox, next_time, now, fired)``.  Injection uses
+        ``post_at`` — an arrival below ``engine.now`` would raise, which
+        is exactly the lookahead-violation alarm we want.
+        """
+        for arrive_at, dst_node, driver_name, rail, frame in frames:
+            nic = self.fabric.nic_of(dst_node, driver_name, rail)
+            self.engine.post_at(arrive_at, nic._deliver, frame)
+        self.engine.blocked_reporters = []
+        try:
+            self.engine.run(until=hi)
+        finally:
+            self.engine.blocked_reporters = self._reporters
+        self.windows += 1
+        outbox, self._outbox = self._outbox, []
+        return outbox, self.next_time(), self.engine.now, self.engine.fired
+
+    def finalize(self) -> dict:
+        """End-of-run report: metrics, trace records, liveness, peak RSS."""
+        registry = getattr(self.cluster, "registry", None)
+        snapshot = registry.snapshot() if registry is not None else {}
+        tracer = getattr(self.cluster, "tracer", None)
+        records: list[tuple] = []
+        dropped = 0
+        if tracer is not None and getattr(tracer, "enabled", False):
+            records = [
+                (
+                    rec.time,
+                    rec.category,
+                    rec.actor,
+                    rec.message,
+                    _stable_data(rec.data),
+                )
+                for rec in tracer.records
+            ]
+            dropped = tracer.dropped
+        return {
+            "nodes": sorted(self.cluster.node_by_id),
+            "snapshot": snapshot,
+            "trace_records": records,
+            "trace_dropped": dropped,
+            "blocked": self.engine.blocked_actors(),
+            "pending": self.engine.pending(),
+            "now": self.engine.now,
+            "fired": self.engine.fired,
+            "windows": self.windows,
+            "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        }
+
+    def trace_doc(self, meta: Optional[dict] = None) -> dict:
+        """This shard's records as a Chrome-trace document (for merging
+        into one timeline via :func:`repro.obs.merge.merge_trace_docs`)."""
+        from repro.obs.chrometrace import chrome_trace
+
+        return chrome_trace(self.cluster.tracer, meta=meta)
+
+
+def _stable_data(data: Optional[dict]) -> str:
+    """A canonical rendering of a trace record's data dict."""
+    if not data:
+        return ""
+    return repr(sorted((str(k), repr(v)) for k, v in data.items()))
+
+
+def _make_runner(*, builder: str, kwargs: dict, index: int, count: int):
+    """ShardPool spec target: build shard ``index``'s cluster + runner."""
+    fn = resolve_target(builder)
+    cluster = fn(shard=ShardSpec(index, count), **kwargs)
+    return ShardRunner(cluster)
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+@dataclass
+class ShardRunResult:
+    """Merged outcome of one sharded run."""
+
+    nshards: int
+    serial: bool
+    until: Optional[int]
+    virtual_ns: int
+    fired: int
+    windows: int
+    lookahead_ns: int
+    wall_ms: float
+    snapshot: dict = field(default_factory=dict)
+    trace_fingerprint: str = ""
+    trace_records: int = 0
+    maxrss_kb: list = field(default_factory=list)
+    shard_fired: list = field(default_factory=list)
+    shard_nodes: list = field(default_factory=list)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.fired / (self.wall_ms / 1e3) if self.wall_ms > 0 else 0.0
+
+    def fingerprint(self) -> str:
+        """Identity digest: metric snapshot + final virtual time + event
+        count (+ trace fingerprint when tracing was on).  Equal digests
+        across shard counts == bit-identical simulation."""
+        body = json.dumps(
+            {
+                "snapshot": self.snapshot,
+                "virtual_ns": self.virtual_ns,
+                "fired": self.fired,
+                "trace": self.trace_fingerprint,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def to_jsonable(self) -> dict:
+        return {
+            "nshards": self.nshards,
+            "serial": self.serial,
+            "until": self.until,
+            "virtual_ns": self.virtual_ns,
+            "fired": self.fired,
+            "windows": self.windows,
+            "lookahead_ns": self.lookahead_ns,
+            "wall_ms": round(self.wall_ms, 3),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "fingerprint": self.fingerprint(),
+            "trace_fingerprint": self.trace_fingerprint,
+            "trace_records": self.trace_records,
+            "maxrss_kb": self.maxrss_kb,
+            "shard_fired": self.shard_fired,
+            "shard_nodes": self.shard_nodes,
+        }
+
+
+def _merge_trace(finals: Sequence[dict]) -> tuple[str, int]:
+    """Order-independent digest over the union of shard trace records.
+
+    Records are compared as a sorted multiset of canonical tuples — the
+    per-shard *interleaving* differs (each shard only logs its nodes),
+    but the union must match the single-process tracer record for
+    record.  Returns ("", 0) when no shard traced anything.
+    """
+    all_records: list[tuple] = []
+    for final in finals:
+        all_records.extend(tuple(rec) for rec in final["trace_records"])
+    if not all_records and not any(f["trace_dropped"] for f in finals):
+        return "", 0
+    all_records.sort()
+    digest = hashlib.sha256()
+    for rec in all_records:
+        digest.update(repr(rec).encode())
+    return digest.hexdigest(), len(all_records)
+
+
+def run_sharded(
+    builder: BuilderRef,
+    kwargs: Optional[dict] = None,
+    *,
+    nshards: int,
+    until: Optional[int] = None,
+    serial: bool = False,
+    lookahead_ns: Optional[int] = None,
+    timeout_s: Optional[float] = 600.0,
+) -> ShardRunResult:
+    """Simulate a cluster partitioned over ``nshards`` shard processes.
+
+    ``builder`` is a ``"pkg.mod:func"`` reference to a module-level
+    function ``fn(shard: ShardSpec, **kwargs) -> Cluster`` that builds
+    the shard's slice of the world (it must pass ``shard`` through to
+    ``Cluster(...)`` and attach any registry/tracer to the cluster).
+    ``nshards=1`` is the single-process reference run — same builder,
+    same protocol, one shard, zero cross-shard frames.
+
+    ``serial=True`` keeps every shard in-process (deterministically
+    identical, no speedup) — required when the caller itself lives in a
+    daemonic worker, which may not fork children.
+
+    ``lookahead_ns`` overrides the fabric-derived lookahead; it may only
+    *shrink* the window (a larger-than-physical lookahead would break
+    causality), so the override is capped at the fabric minimum.
+    """
+    if nshards < 1:
+        raise ValueError("need at least one shard")
+    specs = [
+        JobSpec(
+            name=f"shard{k}",
+            target="repro.cluster.shard:_make_runner",
+            kwargs={
+                "builder": builder,
+                "kwargs": dict(kwargs or {}),
+                "index": k,
+                "count": nshards,
+            },
+        )
+        for k in range(nshards)
+    ]
+    t0 = _time.perf_counter()
+    with ShardPool(specs, serial=serial, timeout_s=timeout_s) as pool:
+        bounds = [b for b in pool.broadcast("lookahead_ns") if b is not None]
+        if not bounds:
+            raise ValueError("no NICs registered in any shard — nothing to sync")
+        lookahead = min(bounds)
+        if lookahead_ns is not None:
+            lookahead = min(lookahead, int(lookahead_ns))
+        if lookahead < 1:
+            raise ValueError(f"non-positive lookahead {lookahead}ns")
+        next_times = pool.broadcast("next_time")
+        inboxes: list[list] = [[] for _ in range(nshards)]
+        windows = 0
+        drained = False
+        while True:
+            horizon_inputs = [t for t in next_times if t is not None]
+            horizon_inputs += [
+                entry[0] for inbox in inboxes for entry in inbox
+            ]
+            if not horizon_inputs:
+                drained = True
+                break  # global drain: no local events, nothing in flight
+            t_min = min(horizon_inputs)
+            final = until is not None and t_min > until
+            hi = until if final else t_min + lookahead
+            if until is not None and hi > until:
+                hi = until
+            replies = pool.scatter(
+                "window", [(inbox, hi) for inbox in inboxes]
+            )
+            windows += 1
+            inboxes = [[] for _ in range(nshards)]
+            next_times = []
+            for outbox, next_t, _now, _fired in replies:
+                next_times.append(next_t)
+                for entry in outbox:
+                    inboxes[shard_of(entry[1], nshards)].append(tuple(entry))
+            if final:
+                break
+        finals = pool.broadcast("finalize")
+    wall_ms = (_time.perf_counter() - t0) * 1e3
+
+    # An ``until``-capped exit legitimately leaves actors blocked on
+    # events beyond the bound; only a *global drain* with blocked actors
+    # is a deadlock (each shard's local check is masked per window, so
+    # this is where the whole-cluster assertion lives).
+    blocked = sum(final["blocked"] for final in finals)
+    if drained and blocked:
+        raise DeadlockError(
+            f"cluster drained at t={max(f['now'] for f in finals)} ns with "
+            f"{blocked} actor(s) still blocked (across {nshards} shard(s))"
+        )
+    from repro.obs.merge import union_snapshots
+
+    trace_fp, trace_n = _merge_trace(finals)
+    return ShardRunResult(
+        nshards=nshards,
+        serial=serial,
+        until=until,
+        virtual_ns=max(final["now"] for final in finals),
+        fired=sum(final["fired"] for final in finals),
+        windows=windows,
+        lookahead_ns=lookahead,
+        wall_ms=wall_ms,
+        snapshot=union_snapshots([final["snapshot"] for final in finals]),
+        trace_fingerprint=trace_fp,
+        trace_records=trace_n,
+        maxrss_kb=[final["maxrss_kb"] for final in finals],
+        shard_fired=[final["fired"] for final in finals],
+        shard_nodes=[final["nodes"] for final in finals],
+    )

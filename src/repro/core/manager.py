@@ -110,6 +110,11 @@ class PIOMan:
         )
         self.stats = PIOManStats()
         self.latency = PIOManLatency()
+        #: monotonic per-queue-scan stamp (see LTask.polled_stamp)
+        self._poll_stamp = 0
+        #: names for anonymous tasks' completion flags (id() would leak
+        #: heap addresses into names, which must be process-independent)
+        self._anon_seq = 0
         # Bound-method caches for the per-pass histogram records: every
         # Algorithm-1 pass ends in exactly one of these, and the two
         # attribute hops per call are measurable at scan frequency.
@@ -210,8 +215,11 @@ class PIOMan:
             raise RuntimeError(f"submit of {task.name!r} in state {task.state}")
         spec = self.machine.spec
         yield Compute(spec.task_init_ns)
+        if not task.name:
+            self._anon_seq += 1
         task.completion = Flag(
-            self.machine, self.engine, home=core, name=f"done:{task.name or id(task)}"
+            self.machine, self.engine, home=core,
+            name=f"done:{task.name or f'anon{self._anon_seq}'}",
         )
         task.submit_core = core
         task.submit_time = self.engine.now
@@ -244,8 +252,11 @@ class PIOMan:
         """
         if task.state is not TaskState.CREATED:
             raise RuntimeError(f"submit of {task.name!r} in state {task.state}")
+        if not task.name:
+            self._anon_seq += 1
         task.completion = Flag(
-            self.machine, self.engine, home=core, name=f"done:{task.name or id(task)}"
+            self.machine, self.engine, home=core,
+            name=f"done:{task.name or f'anon{self._anon_seq}'}",
         )
         task.submit_core = core
         task.submit_time = self.engine.now
@@ -476,7 +487,8 @@ class PIOMan:
                 qstats.empty_checks += 1
                 yield Compute(cost)
                 continue
-            seen: set[int] = set()
+            self._poll_stamp += 1
+            stamp = self._poll_stamp
             while True:
                 lost_before = qstats.lost_races
                 task = yield from queue.get_task(core)
@@ -484,14 +496,14 @@ class PIOMan:
                     if qstats.lost_races > lost_before:
                         contended = True  # raced another core and lost
                     break
-                if id(task) in seen:
+                if task.polled_stamp == stamp:
                     # already polled this pass; put it back and move on —
                     # unless a cancel landed while it was in our hands
                     # (re-enqueueing would resurrect it)
                     if task.state is not TaskState.CANCELLED:
                         yield from queue.enqueue(core, task)
                     break
-                seen.add(id(task))
+                task.polled_stamp = stamp
                 complete = yield from self._run_task(core, queue, task)
                 ran += 1
                 if not complete:

@@ -70,6 +70,7 @@ class LTask:
         "enqueued_at",
         "first_polled_at",
         "trace_prev_run",
+        "polled_stamp",
     )
 
     def __init__(
@@ -115,6 +116,11 @@ class LTask:
         #: causal-trace chaining for repeat tasks: ``(run_node, end_ns)``
         #: of the previous poll (assigned only while tracing is enabled)
         self.trace_prev_run: Optional[tuple] = None
+        #: scan-pass stamp: equals the manager's current per-queue poll
+        #: stamp iff this task was already polled in that scan (dedup must
+        #: not key on ``id()`` — a freed task's address can be reused by a
+        #: new task mid-pass, making behaviour depend on heap layout)
+        self.polled_stamp = 0
 
     # ------------------------------------------------------------------
     # lifecycle spans

@@ -39,7 +39,7 @@ class MadMPIComm:
     def __init__(self, mpi: "MadMPI", rank: int) -> None:
         self.mpi = mpi
         self.rank = rank
-        self.nmad: NMad = mpi.nmads[rank]
+        self.nmad: NMad = mpi.nmad_for(rank)
 
     # Every method is a generator to be used with ``yield from`` inside a
     # simulated thread body.
@@ -106,6 +106,10 @@ class MadMPI:
         offload_submission: bool = True,
     ) -> None:
         self.cluster = cluster
+        # One NMad per *local* node.  In the common whole-cluster build
+        # ``nmads[rank]`` indexing still works (node i is the i-th list
+        # entry); sharded clusters instantiate a node subset, so rank
+        # lookup must go through :meth:`nmad_for`.
         self.nmads = [
             NMad(
                 node,
@@ -116,6 +120,18 @@ class MadMPI:
             )
             for node in cluster.nodes
         ]
+        self.nmad_by_id = {nm.node.id: nm for nm in self.nmads}
+
+    def nmad_for(self, rank: int) -> NMad:
+        """The NMad serving ``rank``; KeyError when the node is not local
+        to this shard (a comm must be created where its rank lives)."""
+        try:
+            return self.nmad_by_id[rank]
+        except KeyError:
+            raise KeyError(
+                f"rank {rank} is not hosted by this process "
+                f"(local ranks: {sorted(self.nmad_by_id)})"
+            ) from None
 
     def comm(self, rank: int) -> MadMPIComm:
         return MadMPIComm(self, rank)

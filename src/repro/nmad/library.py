@@ -48,6 +48,13 @@ from repro.topology.machine import Level
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.cluster import Node
 
+#: retired process-wide rendezvous id stream, kept only so old pickles /
+#: forks referencing it keep importing.  Live ids are per-NMad (see
+#: ``NMad._msg_ids``): a process-wide counter would make a node's message
+#: ids depend on how many *other* nodes share its process, which breaks
+#: the sharded-vs-single-process fingerprint identity contract — each
+#: shard hosts a subset of the nodes.  Rendezvous state is therefore
+#: keyed ``(src_node, msg_id)`` on the receive side.
 _msg_ids = itertools.count(1)
 
 
@@ -108,8 +115,13 @@ class NMad:
         self.expected: list[RecvRequest] = []
         #: metas of frames nobody was expecting yet (eager bodies / RTS)
         self.unexpected: list[dict] = []
+        #: local rendezvous ids are unique per *this* node, so sends key
+        #: by bare msg_id; inbound state keys by (src node, msg_id)
         self.rdv_out: dict[int, SendRequest] = {}
-        self.rdv_in: dict[int, RecvRequest] = {}
+        self.rdv_in: dict[tuple[int, int], RecvRequest] = {}
+        #: per-node id/seq streams — never process-global (see _msg_ids)
+        self._msg_ids = itertools.count(1)
+        self._req_seq = itertools.count()
         self.pending_ops = 0
         self.stats = NMadStats()
         #: metrics registry (defaults to the node's PIOMan registry, so one
@@ -131,7 +143,7 @@ class NMad:
         self, core: int, peer: int, tag: int, size: int, payload: Any = None
     ) -> Generator[Instr, Any, SendRequest]:
         """Post a non-blocking send from ``core``; returns the request."""
-        req = SendRequest(peer, tag, size, payload)
+        req = SendRequest(peer, tag, size, payload, seq=next(self._req_seq))
         req.flag = Flag(self.machine, self.engine, home=core, name=f"snd{req.seq}")
         req.t_post = self.engine.now
         self.stats.sends += 1
@@ -156,7 +168,7 @@ class NMad:
         else:
             req.protocol = "rdv"
             self.stats.rdv_sends += 1
-            msg_id = next(_msg_ids)
+            msg_id = next(self._msg_ids)
             self.rdv_out[msg_id] = req
             req.state = ReqState.RTS_SENT
             pw = PacketWrapper(
@@ -185,7 +197,7 @@ class NMad:
         self, core: int, peer: int = ANY, tag: int = ANY
     ) -> Generator[Instr, Any, RecvRequest]:
         """Post a non-blocking receive; wildcards allowed."""
-        req = RecvRequest(peer, tag)
+        req = RecvRequest(peer, tag, seq=next(self._req_seq))
         req.flag = Flag(self.machine, self.engine, home=core, name=f"rcv{req.seq}")
         req.t_post = self.engine.now
         self.stats.recvs += 1
@@ -200,7 +212,7 @@ class NMad:
                 yield SetFlag(req.flag)
                 self.pending_ops -= 1
             else:  # RTS: reply CTS, stay pending until DATA lands
-                self.rdv_in[match["msg_id"]] = req
+                self.rdv_in[(match["src"], match["msg_id"])] = req
                 req.state = ReqState.CTS_SENT
                 req.src = match["src"]
                 req.recv_tag = match["tag"]
@@ -535,7 +547,7 @@ class NMad:
         if req is None:
             self.unexpected.append(meta)
             return
-        self.rdv_in[meta["msg_id"]] = req
+        self.rdv_in[(meta["src"], meta["msg_id"])] = req
         req.state = ReqState.CTS_SENT
         req.src = meta["src"]
         req.recv_tag = meta["tag"]
@@ -555,16 +567,22 @@ class NMad:
             PwKind.DATA,
             req.peer,
             req.size,
-            meta={"msg_id": meta["msg_id"], "payload": req.payload, "total": req.size},
+            meta={
+                "msg_id": meta["msg_id"],
+                "src": self.node.id,
+                "payload": req.payload,
+                "total": req.size,
+            },
             request=req,
         )
         gate.collect(data)
         self._pump(core, gate)
 
     def _arrive_data(self, core: int, meta: dict) -> None:
-        req = self.rdv_in.get(meta["msg_id"])
+        rdv_key = (meta["src"], meta["msg_id"])
+        req = self.rdv_in.get(rdv_key)
         if req is None:  # pragma: no cover - protocol guard
-            raise ValueError(f"DATA for unknown rendezvous {meta['msg_id']}")
+            raise ValueError(f"DATA for unknown rendezvous {rdv_key}")
         chunk = meta.get("chunk_bytes", meta["total"])
         req.bytes_seen += chunk
         req.chunks_seen += 1
@@ -573,7 +591,7 @@ class NMad:
         if req.bytes_seen < meta["total"]:
             return  # more chunks on other rails
         req.size = meta["total"]
-        del self.rdv_in[meta["msg_id"]]
+        del self.rdv_in[rdv_key]
         gate = self._gate(req.src)
         fin = PacketWrapper(PwKind.FIN, req.src, 16, meta={"msg_id": meta["msg_id"]})
         gate.collect(fin)

@@ -31,6 +31,13 @@ class ReqState(enum.Enum):
     COMPLETE = "complete"
 
 
+#: process-wide fallback request numbering.  Requests created through an
+#: :class:`~repro.nmad.library.NMad` carry a *per-library* seq instead
+#: (passed in explicitly): the seq leaks into observable state (flag
+#: names like ``snd{seq}`` reach trace records via scheduler block
+#: reasons), so it must not depend on how many other nodes share this
+#: process — a sharded run builds fewer nodes per process and would
+#: otherwise diverge from the single-process fingerprint.
 _req_seq = itertools.count()
 
 
@@ -51,7 +58,14 @@ class SendRequest:
         "rail_chunks",
     )
 
-    def __init__(self, peer: int, tag: int, size: int, payload: Any = None) -> None:
+    def __init__(
+        self,
+        peer: int,
+        tag: int,
+        size: int,
+        payload: Any = None,
+        seq: Optional[int] = None,
+    ) -> None:
         if peer < 0:
             raise ValueError("send needs an explicit peer")
         if tag < 0:
@@ -60,7 +74,7 @@ class SendRequest:
         self.tag = tag
         self.size = size
         self.payload = payload
-        self.seq = next(_req_seq)
+        self.seq = next(_req_seq) if seq is None else seq
         self.flag: Optional["Flag"] = None
         self.state = ReqState.PENDING
         self.protocol = ""  # "eager" | "rdv"
@@ -97,10 +111,12 @@ class RecvRequest:
         "bytes_seen",
     )
 
-    def __init__(self, peer: int = ANY, tag: int = ANY) -> None:
+    def __init__(
+        self, peer: int = ANY, tag: int = ANY, seq: Optional[int] = None
+    ) -> None:
         self.peer = peer
         self.tag = tag
-        self.seq = next(_req_seq)
+        self.seq = next(_req_seq) if seq is None else seq
         self.flag: Optional["Flag"] = None
         self.state = ReqState.PENDING
         self.t_post: Optional[int] = None

@@ -17,7 +17,8 @@ Complementary views of one simulation run:
   live tracer or an exported trace file: per-core utilization, per-level
   submit→run percentiles, lock contention, slowest tasks.
 * :func:`merge_snapshots` / :func:`sum_snapshots` /
-  :func:`merge_trace_docs` — order-independent folding of per-job
+  :func:`union_snapshots` / :func:`merge_trace_docs` — order-independent
+  folding of per-job / per-shard
   snapshots and trace documents from ``repro.par`` fan-out runs back
   into one canonical artifact.
 * :func:`extract_critical_path` / :func:`format_critical_path` — walk
@@ -53,7 +54,12 @@ from repro.obs.gantt import (
     write_gantt_svg,
 )
 from repro.obs.histogram import Histogram
-from repro.obs.merge import merge_snapshots, merge_trace_docs, sum_snapshots
+from repro.obs.merge import (
+    merge_snapshots,
+    merge_trace_docs,
+    sum_snapshots,
+    union_snapshots,
+)
 from repro.obs.registry import MetricsRegistry
 
 __all__ = [
@@ -74,6 +80,7 @@ __all__ = [
     "format_diff",
     "merge_snapshots",
     "merge_trace_docs",
+    "union_snapshots",
     "render_gantt_svg",
     "render_gantt_term",
     "sum_snapshots",

@@ -7,13 +7,17 @@ scheduler order — these helpers fold any completion order into one
 canonical artifact, so a parallel run's merged output is byte-identical
 to the serial run's.
 
-Two snapshot merges exist because the shards mean different things:
+Three snapshot merges exist because the shards mean different things:
 
 * :func:`merge_snapshots` — *heterogeneous* jobs (different scenarios):
   each shard is namespaced under its job name, nothing is added up;
 * :func:`sum_snapshots` — *homogeneous* shards of one logical run (e.g.
   the same scenario sharded by repetition range): counters with the same
-  path are summed.
+  path are summed;
+* :func:`union_snapshots` — *partitioned* shards of one logical world
+  (node-sharded cluster simulation): every path belongs to exactly one
+  shard, so the merge is a strict disjoint union — a duplicate path is a
+  partitioning bug and raises rather than silently summing.
 """
 
 from __future__ import annotations
@@ -55,6 +59,30 @@ def sum_snapshots(
         for path, value in snap.items():
             total[path] = total.get(path, 0) + value
     return dict(sorted(total.items()))
+
+
+def union_snapshots(
+    snapshots: Sequence[Mapping[str, Number]]
+) -> dict[str, Number]:
+    """Disjoint-union merge for node-partitioned shards of one world.
+
+    The cluster sharder scopes every registry path to a node
+    (``sched.node3``, ``nmad.node3.gate1`` ...), so shard snapshots
+    partition the path space; their union *is* the single-process
+    snapshot.  A path appearing in two shards means the partitioning
+    leaked — that is a :class:`ValueError`, never a silent sum.  Keys
+    are sorted, so any shard order yields the same dict.
+    """
+    merged: dict[str, Number] = {}
+    for i, snap in enumerate(snapshots):
+        for path, value in snap.items():
+            if path in merged:
+                raise ValueError(
+                    f"counter path {path!r} appears in more than one shard "
+                    f"(second occurrence in shard {i})"
+                )
+            merged[path] = value
+    return dict(sorted(merged.items()))
 
 
 def _event_key(event: Mapping[str, Any]):

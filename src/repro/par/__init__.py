@@ -18,18 +18,28 @@ serial loop would have produced.
 * :func:`derive_seed` — stable per-job seeds from one root seed;
 * :func:`run_jobs` / :func:`run_jobs_strict` — the pool: ``fork``-based
   workers with per-job timeout, one bounded retry on worker crash, and a
-  clean in-process serial fallback (``jobs<=1`` or no ``fork``).
+  clean in-process serial fallback (resolved ``jobs<=1`` or no ``fork``);
+* :func:`resolve_jobs` — ``0``/``"auto"``/``None`` → ``os.cpu_count()``,
+  so every CLI and API jobs knob speaks the same dialect;
+* :class:`ShardPool` — the *stateful* sibling: long-lived forked workers
+  each holding a live state object (a cluster shard's engine + fabric),
+  serving method calls over pipes until closed — the substrate for
+  :mod:`repro.cluster.shard`'s window-synchronized parallel simulation.
 """
 
 from repro.par.jobs import JobFailure, JobResult, JobSpec, derive_seed, resolve_target
-from repro.par.pool import has_fork, run_jobs, run_jobs_strict
+from repro.par.pool import has_fork, resolve_jobs, run_jobs, run_jobs_strict
+from repro.par.shardpool import ShardPool, ShardPoolError
 
 __all__ = [
     "JobFailure",
     "JobResult",
     "JobSpec",
+    "ShardPool",
+    "ShardPoolError",
     "derive_seed",
     "has_fork",
+    "resolve_jobs",
     "resolve_target",
     "run_jobs",
     "run_jobs_strict",

@@ -74,7 +74,10 @@ class JobResult:
     ``ok`` jobs carry ``value``; failed jobs carry ``error`` (a string —
     exception reprs don't always pickle).  ``attempts`` counts executions
     including the crash retry; ``pid`` is the worker process (``None``
-    when run in-process); ``parallel`` records which path executed it.
+    when run in-process); ``parallel`` records which path executed it;
+    ``workers`` is the resolved worker-process cap the batch ran under
+    (1 for the serial path — ``jobs=0``/``auto`` resolves to the host's
+    CPU count before it lands here, so consumers never see a 0).
     """
 
     name: str
@@ -86,6 +89,7 @@ class JobResult:
     attempts: int = 1
     pid: Optional[int] = None
     parallel: bool = False
+    workers: int = 1
 
 
 class JobFailure(RuntimeError):

@@ -39,6 +39,33 @@ def has_fork() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def resolve_jobs(jobs) -> int:
+    """Resolve a user-facing jobs knob to a concrete worker count.
+
+    ``0``, ``None`` and ``"auto"`` (any case) mean "use every CPU" —
+    ``os.cpu_count()``.  Positive ints pass through; anything else is a
+    :class:`ValueError`.  Every entry point that takes a jobs knob calls
+    this, so ``--jobs auto`` behaves identically everywhere.
+    """
+    if jobs is None:
+        return os.cpu_count() or 1
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text in ("auto", "0", ""):
+            return os.cpu_count() or 1
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"jobs must be a positive int, 0, or 'auto'; got {jobs!r}"
+            ) from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs!r}")
+    return int(jobs)
+
+
 def _worker_entry(spec: JobSpec, conn) -> None:
     """Worker body: run the job, send ``(status, payload, wall_ms)``.
 
@@ -67,7 +94,7 @@ def _worker_entry(spec: JobSpec, conn) -> None:
             pass
 
 
-def _run_serial(specs: Sequence[JobSpec]) -> list[JobResult]:
+def _run_serial(specs: Sequence[JobSpec], *, workers: int = 1) -> list[JobResult]:
     """In-process execution, spec order — the fallback and the oracle."""
     results: list[JobResult] = []
     for i, spec in enumerate(specs):
@@ -78,6 +105,7 @@ def _run_serial(specs: Sequence[JobSpec]) -> list[JobResult]:
                 JobResult(
                     name=spec.name, index=i, ok=True, value=value,
                     wall_ms=(time.perf_counter() - t0) * 1e3,
+                    workers=workers,
                 )
             )
         except Exception as exc:
@@ -86,6 +114,7 @@ def _run_serial(specs: Sequence[JobSpec]) -> list[JobResult]:
                     name=spec.name, index=i, ok=False,
                     error=f"{type(exc).__name__}: {exc}",
                     wall_ms=(time.perf_counter() - t0) * 1e3,
+                    workers=workers,
                 )
             )
     return results
@@ -94,29 +123,37 @@ def _run_serial(specs: Sequence[JobSpec]) -> list[JobResult]:
 def run_jobs(
     specs: Sequence[JobSpec],
     *,
-    jobs: int = 1,
+    jobs=1,
     timeout_s: Optional[float] = None,
     crash_retries: int = 1,
     force_serial: bool = False,
 ) -> list[JobResult]:
     """Run every spec; return :class:`JobResult` objects **in spec order**.
 
-    ``jobs`` is the worker-process cap; ``timeout_s`` the default per-job
-    wall-clock limit (``spec.timeout_s`` overrides per job; ``None`` =
-    unlimited).  A worker that dies without reporting is retried up to
-    ``crash_retries`` times; a job that *raises* is not retried (the
-    simulator is deterministic — it would raise again).
+    ``jobs`` is the worker-process cap (``0``/``"auto"``/``None`` resolve
+    to ``os.cpu_count()`` via :func:`resolve_jobs`); ``timeout_s`` the
+    default per-job wall-clock limit (``spec.timeout_s`` overrides per
+    job; ``None`` = unlimited).  A worker that dies without reporting is
+    retried up to ``crash_retries`` times; a job that *raises* is not
+    retried (the simulator is deterministic — it would raise again).
 
-    Falls back to in-process serial execution when ``jobs <= 1``, when
-    there is at most one spec, when the platform lacks ``fork``, or when
-    ``force_serial`` is set.  Both paths execute :meth:`JobSpec.run`, so
-    the fallback is an equivalence, not an approximation.
+    Every result carries ``workers`` — the resolved concurrency the batch
+    actually ran under — so callers never have to guess what ``auto``
+    meant on this host.
+
+    Falls back to in-process serial execution when the resolved count is
+    1, when there is at most one spec, when the platform lacks ``fork``,
+    or when ``force_serial`` is set.  Both paths execute
+    :meth:`JobSpec.run`, so the fallback is an equivalence, not an
+    approximation.
     """
     names = [s.name for s in specs]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate job names: {names}")
+    jobs = resolve_jobs(jobs)
     if force_serial or jobs <= 1 or len(specs) <= 1 or not has_fork():
         return _run_serial(specs)
+    workers = min(jobs, len(specs))
 
     ctx = multiprocessing.get_context("fork")
     results: list[Optional[JobResult]] = [None] * len(specs)
@@ -274,13 +311,15 @@ def run_jobs(
             except Exception:
                 pass
     assert all(r is not None for r in results)
+    for result in results:
+        result.workers = workers
     return results  # type: ignore[return-value]
 
 
 def run_jobs_strict(
     specs: Sequence[JobSpec],
     *,
-    jobs: int = 1,
+    jobs=1,
     timeout_s: Optional[float] = None,
     crash_retries: int = 1,
     force_serial: bool = False,

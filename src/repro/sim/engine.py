@@ -197,12 +197,23 @@ class Engine:
         if len(self._pool) < POOL_CAP:
             self._pool.append(ev)
 
+    def blocked_actors(self) -> int:
+        """Actors currently blocked, summed over the registered reporters.
+
+        Nonzero at drain means deadlock in a closed world; in a sharded
+        run (:mod:`repro.cluster.shard`) a shard's local drain with
+        blocked actors is routine — they wait on cross-shard frames — so
+        the coordinator sums this across shards *after* the global drain
+        instead of letting each shard raise locally.
+        """
+        return sum(r() for r in self.blocked_reporters)
+
     def _drained(self) -> Optional[int]:
         """Queue is empty: poll drain hooks, detect deadlock.  Returns
         the final virtual time to report, or None to keep running."""
         if any(hook() for hook in self.drain_hooks):
             return None
-        blocked = sum(r() for r in self.blocked_reporters)
+        blocked = self.blocked_actors()
         if blocked:
             raise DeadlockError(
                 f"event queue drained at t={self.now} ns with "
@@ -455,15 +466,19 @@ class WheelEngine(Engine):
         """See :meth:`Engine.next_external_time`.
 
         Walks the engine tiers cheapest-first without scanning past the
-        answer: the same-instant FIFO (any entry bounds the leap at
-        ``now``), then the occupied-bucket index in time order — the
-        first bucket containing an external entry holds the minimum,
-        because inter-bucket order is time order — and only if the whole
-        wheel is carrier-only, the overflow heap (every overflow time is
-        >= every wheel time).
+        answer: the same-instant FIFO (any live non-carrier entry bounds
+        the leap at its post instant), then the occupied-bucket index in
+        time order — the first bucket containing an external entry holds
+        the minimum, because inter-bucket order is time order — and only
+        if the whole wheel is carrier-only, the overflow heap (every
+        overflow time is >= every wheel time).
         """
-        if self._nowq:
-            return self.now
+        for e in self._nowq:
+            if e[2] is None:
+                ev = e[3]
+                if not ev.alive or ev in carriers:
+                    continue
+            return e[0]
         slots = self._slots
         for pos in self._bidx:
             best = None

@@ -37,6 +37,7 @@ def test_quick_matrix_shape(quick_report):
         "fault_storm",
         "core_wheel",
         "core_heap",
+        "cluster_shard2",
     ]
     assert quick_report.total_events > 0
     assert quick_report.aggregate_events_per_sec > 0
@@ -140,11 +141,11 @@ def test_matrix_specs_carry_seeds_and_names():
         "scal_numa32", "cluster_ring", "idle_spin", "idle_spin_nosummary",
         "leap_on", "leap_off",
         "fault_net", "fault_slowcore", "fault_storm",
-        "core_wheel", "core_heap",
+        "core_wheel", "core_heap", "cluster_shard2",
     ]
     # the seed lives in the spec, fixed before any worker runs
     assert [s.kwargs["seed"] for s in specs] == [
-        7, 8, 9, 10, 11, 12, 12, 17, 17, 13, 14, 15, 16, 16,
+        7, 8, 9, 10, 11, 12, 12, 17, 17, 13, 14, 15, 16, 16, 18,
     ]
 
 

@@ -1,0 +1,199 @@
+"""Workload-generator unit tests: the traffic matrix is a pure function
+of the spec, patterns shape routes the way their names promise, and a
+generated world actually runs to completion with the counters the spec
+predicts — in every arrival mode, with collectives and rendezvous
+transfers in the mix."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.shard import run_sharded
+from repro.cluster.workload import (
+    WorkloadSpec,
+    _gap_ns,
+    build_workload_cluster,
+    expected_counters,
+    verify_completion,
+)
+from repro.par.jobs import derive_seed
+from repro.sim.rng import Rng
+
+BUILDER = "repro.cluster.workload:build_workload_cluster"
+
+
+class TestSpecValidation:
+    def test_rejects_degenerate_worlds(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(nnodes=1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(pattern="mesh")
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival="batch")
+        with pytest.raises(ValueError):
+            WorkloadSpec(pattern="incast", incast_fanin=1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(diurnal_amp=1.0)
+
+    def test_spec_is_frozen_and_replaceable(self):
+        spec = WorkloadSpec(nnodes=4, seed=1)
+        with pytest.raises(Exception):
+            spec.nnodes = 8
+        assert replace(spec, seed=2).seed == 2
+
+
+class TestRoutes:
+    def test_routes_are_a_pure_function_of_the_spec(self):
+        spec = WorkloadSpec(nnodes=10, requests_per_node=5, seed=42)
+        assert spec.routes() == spec.routes()
+        assert spec.routes() == WorkloadSpec(
+            nnodes=10, requests_per_node=5, seed=42
+        ).routes()
+        assert spec.routes() != replace(spec, seed=43).routes()
+
+    def test_uniform_never_targets_self(self):
+        spec = WorkloadSpec(nnodes=7, requests_per_node=40, seed=5)
+        for i, reqs in enumerate(spec.routes()):
+            for entry in reqs:
+                assert entry is not None
+                assert entry[0] != i
+                assert 0 <= entry[0] < spec.nnodes
+
+    def test_ring_targets_the_neighbor(self):
+        spec = WorkloadSpec(nnodes=5, requests_per_node=3, pattern="ring", seed=0)
+        for i, reqs in enumerate(spec.routes()):
+            assert all(entry[0] == (i + 1) % 5 for entry in reqs)
+
+    def test_hotspot_concentrates_on_node_zero(self):
+        spec = WorkloadSpec(
+            nnodes=12, requests_per_node=50, pattern="hotspot", seed=3
+        )
+        counts = spec.inbound_counts()
+        assert counts[0] > sum(counts) * 0.5, "node 0 is not hot"
+        # node 0 itself still spreads uniformly
+        assert all(entry[0] != 0 for entry in spec.routes()[0])
+
+    def test_incast_sinks_serve_and_sources_fan_in(self):
+        spec = WorkloadSpec(
+            nnodes=16, requests_per_node=4, pattern="incast",
+            incast_fanin=4, seed=7,
+        )
+        routes = spec.routes()
+        for i, reqs in enumerate(routes):
+            if i % 4 == 0:  # sink: issues nothing
+                assert all(entry is None for entry in reqs)
+            else:  # source: everything to its group's sink
+                assert all(entry[0] == (i // 4) * 4 for entry in reqs)
+        counts = spec.inbound_counts()
+        assert all(counts[i] == 0 for i in range(16) if i % 4 != 0)
+        assert spec.total_requests() == 12 * 4
+
+    def test_rdv_fraction_forces_large_payloads(self):
+        spec = WorkloadSpec(
+            nnodes=4, requests_per_node=30, rdv_fraction=1.0, seed=9
+        )
+        sizes = [entry[1] for reqs in spec.routes() for entry in reqs]
+        assert min(sizes) >= 32 * 1024
+        none = WorkloadSpec(nnodes=4, requests_per_node=30, seed=9)
+        assert max(e[1] for r in none.routes() for e in r) < 16 * 1024
+
+
+class TestArrivalShaping:
+    def test_gaps_are_deterministic_per_node_stream(self):
+        spec = WorkloadSpec(nnodes=3, seed=21)
+        rng_a = Rng(derive_seed(spec.seed, "gap0"))
+        rng_b = Rng(derive_seed(spec.seed, "gap0"))
+        gaps_a = [_gap_ns(spec, rng_a, r) for r in range(20)]
+        gaps_b = [_gap_ns(spec, rng_b, r) for r in range(20)]
+        assert gaps_a == gaps_b
+        assert any(gaps_a), "exponential draws all zero — broken stream"
+
+    def test_bursts_stretch_the_inter_burst_gap(self):
+        base = WorkloadSpec(nnodes=3, mean_gap_ns=10_000, seed=4)
+        bursty = replace(base, burst_len=5, burst_gap_factor=100.0)
+        # compare the same draw at a burst boundary vs unshaped
+        rng_plain = Rng(derive_seed(base.seed, "gap1"))
+        rng_burst = Rng(derive_seed(base.seed, "gap1"))
+        for r in range(10):
+            plain = _gap_ns(base, rng_plain, r)
+            shaped = _gap_ns(bursty, rng_burst, r)
+            if r and r % 5 == 0:
+                assert shaped >= plain * 50 or plain == 0
+            else:
+                assert shaped == plain
+
+    def test_diurnal_modulation_swings_the_rate(self):
+        spec = WorkloadSpec(
+            nnodes=3, mean_gap_ns=100_000, diurnal_period=16,
+            diurnal_amp=0.9, seed=4,
+        )
+        # at the sine peak the gap shrinks; in the trough it grows
+        peak_r, trough_r = 4, 12  # sin=+1 / sin=-1 for period 16
+        rng = Rng(1)
+        draws = [rng.expovariate(1.0 / spec.mean_gap_ns) for _ in range(2)]
+        rng_a = Rng(1)
+        # rate = 1 + amp*sin(phase); the gap divides by it: sin=+1 at the
+        # peak (divisor 1.9, shorter gaps), sin=-1 in the trough
+        # (divisor 0.1, 10x longer gaps)
+        assert _gap_ns(spec, rng_a, peak_r) == max(0, int(draws[0] / 1.9))
+        assert _gap_ns(spec, rng_a, trough_r) == max(
+            0, int(draws[1] / (1.0 + 0.9 * math.sin(2 * math.pi * 12 / 16)))
+        )
+        assert _gap_ns(spec, Rng(1), trough_r) > _gap_ns(spec, Rng(1), peak_r)
+
+    def test_collective_rounds_accounting(self):
+        spec = WorkloadSpec(nnodes=4, requests_per_node=10, collective_every=3)
+        assert spec.collective_rounds() == 3
+        assert WorkloadSpec(nnodes=4).collective_rounds() == 0
+        want = expected_counters(spec)
+        assert want["collectives"] == 3 * 4
+
+
+class TestEndToEnd:
+    def run_spec(self, spec):
+        result = run_sharded(
+            BUILDER,
+            {"spec": spec, "machine": "smp1x2", "trace": False},
+            nshards=1,
+            serial=True,
+        )
+        verify_completion(result.snapshot, spec)
+        return result
+
+    def test_closed_loop_completes_with_replies(self):
+        spec = WorkloadSpec(
+            nnodes=4, requests_per_node=3, arrival="closed",
+            pattern="ring", think_ns=2_000, mean_gap_ns=5_000, seed=13,
+        )
+        result = self.run_spec(spec)
+        want = expected_counters(spec)
+        assert want["replies"] == spec.total_requests() > 0
+        served = sum(
+            v for p, v in result.snapshot.items()
+            if p.startswith("workload.") and p.endswith(".served")
+        )
+        assert served == spec.total_requests()
+
+    def test_open_loop_with_collectives_and_rdv(self):
+        spec = WorkloadSpec(
+            nnodes=4, requests_per_node=4, arrival="open",
+            mean_gap_ns=20_000, rdv_fraction=0.5, collective_every=2,
+            window=2, seed=17,
+        )
+        result = self.run_spec(spec)
+        colls = sum(
+            v for p, v in result.snapshot.items()
+            if p.startswith("workload.") and p.endswith(".collectives")
+        )
+        assert colls == spec.collective_rounds() * spec.nnodes > 0
+
+    def test_verify_completion_catches_a_stall(self):
+        spec = WorkloadSpec(nnodes=4, requests_per_node=2, seed=1)
+        with pytest.raises(RuntimeError, match="workload incomplete"):
+            verify_completion({}, spec)
+
+    def test_builder_rejects_unknown_machine(self):
+        spec = WorkloadSpec(nnodes=4, seed=1)
+        with pytest.raises(ValueError, match="unknown machine"):
+            build_workload_cluster(spec=spec, machine="numa96")

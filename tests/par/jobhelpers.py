@@ -72,3 +72,37 @@ def sleep_then_crash(seconds=0.4, exit_code=7):
     crashed worker the crash-at-deadline terminal path is about."""
     time.sleep(seconds)
     os._exit(exit_code)
+
+
+class Counter:
+    """A stateful ShardPool target: state that must survive across calls
+    is the whole point of the pool."""
+
+    def __init__(self, start=0):
+        self.value = start
+
+    def bump(self, by=1):
+        self.value += by
+        return self.value
+
+    def get(self):
+        return self.value
+
+    def where(self):
+        return os.getpid()
+
+    def boom(self, message="window error"):
+        raise RuntimeError(message)
+
+    def nap(self, seconds):
+        time.sleep(seconds)
+        return "rested"
+
+    def opaque(self):
+        return lambda x: x  # unpicklable on purpose
+
+
+def make_counter(start=0):
+    """ShardPool spec target returning the live state object."""
+    return Counter(start)
+

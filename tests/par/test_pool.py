@@ -10,6 +10,7 @@ from repro.par import (
     JobSpec,
     derive_seed,
     has_fork,
+    resolve_jobs,
     resolve_target,
     run_jobs,
     run_jobs_strict,
@@ -51,6 +52,56 @@ def test_duplicate_job_names_rejected():
     ]
     with pytest.raises(ValueError, match="duplicate"):
         run_jobs(specs, jobs=2)
+
+
+# ----------------------------------------------------------------------
+# jobs-knob resolution and workers stamping
+# ----------------------------------------------------------------------
+def test_resolve_jobs_auto_means_every_cpu():
+    ncpu = os.cpu_count() or 1
+    assert resolve_jobs(0) == ncpu
+    assert resolve_jobs(None) == ncpu
+    assert resolve_jobs("auto") == ncpu
+    assert resolve_jobs("AUTO") == ncpu
+    assert resolve_jobs(" 0 ") == ncpu
+    assert resolve_jobs("") == ncpu
+
+
+def test_resolve_jobs_passes_positive_ints_through():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs("3") == 3
+
+
+def test_resolve_jobs_rejects_garbage():
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+    with pytest.raises(ValueError):
+        resolve_jobs("many")
+
+
+def test_serial_results_stamp_workers_1():
+    results = run_jobs(_echo_specs(3), jobs=1)
+    assert [r.workers for r in results] == [1, 1, 1]
+
+
+@needs_fork
+def test_parallel_results_stamp_resolved_workers():
+    # 8 specs, jobs=3: the batch really ran under 3 workers
+    results = run_jobs(_echo_specs(8), jobs=3)
+    assert {r.workers for r in results} == {3}
+    # the cap is min(jobs, len(specs)) — callers see the truth, not the ask
+    results = run_jobs(_echo_specs(2), jobs=16)
+    assert {r.workers for r in results} == {2}
+
+
+@needs_fork
+def test_jobs_auto_runs_parallel_and_stamps_cpu_count():
+    ncpu = os.cpu_count() or 1
+    results = run_jobs(_echo_specs(3), jobs="auto")
+    want = min(ncpu, 3) if ncpu > 1 else 1
+    assert {r.workers for r in results} == {want}
+    assert [r.value for r in results] == [0, 1, 2]
 
 
 # ----------------------------------------------------------------------
